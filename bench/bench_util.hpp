@@ -1,0 +1,32 @@
+#pragma once
+// Shared formatting helpers for the figure-reproduction benchmarks.
+// Every bench prints the rows/series of one paper figure or table; the
+// absolute values come from this repository's calibrated models, the
+// *shape* is what should match the paper (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <string>
+
+namespace netddt::bench {
+
+inline void title(const std::string& fig, const std::string& what) {
+  std::printf("\n=== %s — %s ===\n", fig.c_str(), what.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  (%s)\n", text.c_str());
+}
+
+inline std::string human_bytes(double b) {
+  char buf[32];
+  if (b >= (1ull << 20)) {
+    std::snprintf(buf, sizeof buf, "%.1fMiB", b / (1ull << 20));
+  } else if (b >= (1ull << 10)) {
+    std::snprintf(buf, sizeof buf, "%.1fKiB", b / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", b);
+  }
+  return buf;
+}
+
+}  // namespace netddt::bench

@@ -1,0 +1,84 @@
+// Fig 13: (a) receive throughput vs number of HPUs (2 KiB blocks);
+// (b) NIC memory occupancy vs block size (16 HPUs);
+// (c) NIC memory occupancy vs number of HPUs.
+//
+// Paper shape: the specialized handler reaches line rate with 2 HPUs;
+// the checkpointed variants' occupancy grows as blocks get larger (the
+// faster processing shrinks the checkpoint interval); HPU-local's
+// occupancy grows with the HPU count (one segment replica per vHPU).
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "ddt/datatype.hpp"
+#include "offload/runner.hpp"
+
+using namespace netddt;
+using offload::StrategyKind;
+
+namespace {
+
+constexpr std::uint64_t kMessage = 4ull << 20;
+constexpr offload::StrategyKind kKinds[] = {
+    StrategyKind::kSpecialized, StrategyKind::kRwCp, StrategyKind::kRoCp,
+    StrategyKind::kHpuLocal};
+
+offload::ReceiveResult run(StrategyKind kind, std::int64_t block,
+                           std::uint32_t hpus) {
+  offload::ReceiveConfig cfg;
+  cfg.type = ddt::Datatype::hvector(
+      static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
+      ddt::Datatype::int8());
+  cfg.strategy = kind;
+  cfg.hpus = hpus;
+  cfg.verify = false;
+  return offload::run_receive(cfg).result;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Fig 13a", "receive throughput (Gbit/s) vs #HPUs, 2 KiB blocks");
+  std::printf("%-6s", "HPUs");
+  for (auto k : kKinds) std::printf(" %14s", std::string(strategy_name(k)).c_str());
+  std::printf("\n");
+  for (std::uint32_t hpus : {2u, 4u, 8u, 16u, 32u}) {
+    std::printf("%-6u", hpus);
+    for (auto k : kKinds) {
+      std::printf(" %14.1f", run(k, 2048, hpus).throughput_gbps());
+    }
+    std::printf("\n");
+  }
+
+  bench::title("Fig 13b", "NIC memory occupancy vs block size (16 HPUs)");
+  std::printf("%-10s", "block");
+  for (auto k : kKinds) std::printf(" %14s", std::string(strategy_name(k)).c_str());
+  std::printf("   (KiB)\n");
+  for (std::int64_t block : {4, 32, 128, 512, 2048, 8192}) {
+    std::printf("%-10s", bench::human_bytes(block).c_str());
+    for (auto k : kKinds) {
+      std::printf(" %14.2f",
+                  static_cast<double>(run(k, block, 16).nic_descriptor_bytes) /
+                      1024.0);
+    }
+    std::printf("\n");
+  }
+
+  bench::title("Fig 13c", "NIC memory occupancy vs #HPUs (2 KiB blocks)");
+  std::printf("%-6s", "HPUs");
+  for (auto k : kKinds) std::printf(" %14s", std::string(strategy_name(k)).c_str());
+  std::printf("   (KiB)\n");
+  for (std::uint32_t hpus : {4u, 8u, 16u, 32u}) {
+    std::printf("%-6u", hpus);
+    for (auto k : kKinds) {
+      std::printf(" %14.2f",
+                  static_cast<double>(run(k, 2048, hpus).nic_descriptor_bytes) /
+                      1024.0);
+    }
+    std::printf("\n");
+  }
+  bench::note("paper: specialized at line rate with 2 HPUs; checkpointed "
+              "variants' memory grows with block size and HPU count; "
+              "HPU-local replicates one segment per vHPU");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 18: how many times a datatype must be reused to amortize the
+// RW-CP checkpoint creation cost. The checkpoints are buffer-independent
+// (they encode stream positions, not addresses), so the cost is paid
+// once per datatype; each reuse saves (host unpack - RW-CP) time.
+// Paper: in 75% of the cases < 4 reuses pay off.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apps/workloads.hpp"
+#include "bench/bench_util.hpp"
+#include "offload/runner.hpp"
+#include "sim/stats.hpp"
+
+using namespace netddt;
+using offload::StrategyKind;
+
+int main() {
+  bench::title("Fig 18", "datatype reuses to amortize checkpoint creation");
+
+  std::vector<double> reuses;
+  for (const auto& w : apps::fig16_workloads()) {
+    offload::ReceiveConfig cfg;
+    cfg.type = w.type;
+    cfg.count = w.count;
+    cfg.verify = false;
+    cfg.strategy = StrategyKind::kRwCp;
+    const auto rw = offload::run_receive(cfg).result;
+    cfg.strategy = StrategyKind::kHostUnpack;
+    const auto host = offload::run_receive(cfg).result;
+
+    const double gain = static_cast<double>(host.msg_time - rw.msg_time);
+    if (gain <= 0.0) continue;  // no win -> never amortizes; not plotted
+    reuses.push_back(std::ceil(
+        static_cast<double>(rw.host_setup_time) / gain));
+  }
+  std::sort(reuses.begin(), reuses.end());
+
+  sim::Log2Histogram hist(1.0, 8);
+  for (double r : reuses) hist.add(std::max(r, 1.0));
+  std::printf("histogram of required reuses:\n%s",
+              hist.to_string("x").c_str());
+  const double p75 = sim::percentile(reuses, 75.0);
+  std::printf("75th percentile: %.0f reuses (paper: < 4 in 75%% of cases)\n",
+              p75);
+  return 0;
+}

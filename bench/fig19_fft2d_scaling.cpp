@@ -1,0 +1,48 @@
+// Fig 19: FFT2D strong scaling (n = 20480) — runtime of the host-unpack
+// and RW-CP-offloaded versions, and the speedup of offloading. Paper:
+// up to ~26% at 64 nodes, shrinking as the unpack overhead becomes a
+// smaller share of the runtime at scale.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "goal/fft2d.hpp"
+
+using namespace netddt;
+
+int main() {
+  bench::title("Fig 19", "FFT2D strong scaling, 20480 x 20480 matrix");
+  std::printf("%-7s %11s %11s %11s %11s %9s\n", "nodes", "host(ms)",
+              "rwcp(ms)", "compute", "comm+unp", "speedup");
+  for (const auto& pt :
+       goal::fft2d_scaling(20480, {64, 128, 256, 512, 1024})) {
+    std::printf("%-7u %11.1f %11.1f %11.1f %11.1f %8.1f%%\n", pt.nodes,
+                sim::to_ms(pt.host.total), sim::to_ms(pt.offloaded.total),
+                sim::to_ms(pt.host.compute),
+                sim::to_ms(pt.host.communicate + pt.host.unpack),
+                pt.speedup_percent);
+  }
+  bench::note("paper: ~26% speedup at 64 nodes, decreasing with scale");
+
+  // Trace-driven validation (full GOAL schedule through the LogGP
+  // simulator, the paper's LogGOPSim methodology): O(nodes^2) ops, so
+  // run at moderate scales and compare against the closed form above.
+  std::printf("\ntrace-driven validation (LogGP schedule replay):\n");
+  std::printf("%-7s %11s %11s %9s\n", "nodes", "host(ms)", "rwcp(ms)",
+              "speedup");
+  for (std::uint32_t nodes : {64u, 128u, 256u}) {
+    goal::Fft2dConfig cfg;
+    cfg.n = 20480;
+    cfg.nodes = nodes;
+    cfg.unpack = offload::StrategyKind::kHostUnpack;
+    const auto host = goal::run_fft2d_trace(cfg);
+    cfg.unpack = offload::StrategyKind::kRwCp;
+    const auto off = goal::run_fft2d_trace(cfg);
+    std::printf("%-7u %11.1f %11.1f %8.1f%%\n", nodes,
+                sim::to_ms(host.total), sim::to_ms(off.total),
+                100.0 * (static_cast<double>(host.total) -
+                         static_cast<double>(off.total)) /
+                    static_cast<double>(host.total));
+  }
+  return 0;
+}

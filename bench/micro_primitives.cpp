@@ -1,0 +1,116 @@
+// Wall-clock microbenchmarks (google-benchmark) of the library's hot
+// primitives: type-map flattening, reference pack/unpack, dataloop
+// segment streaming, and checkpoint-table construction. These guard the
+// simulator's own performance (the figure benches replay millions of
+// regions through these paths).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dataloop/dataloop.hpp"
+#include "dataloop/segment.hpp"
+#include "ddt/datatype.hpp"
+#include "ddt/pack.hpp"
+
+using namespace netddt;
+
+namespace {
+
+ddt::TypePtr vector_type(std::int64_t blocks, std::int64_t block_bytes) {
+  return ddt::Datatype::hvector(blocks, block_bytes, 2 * block_bytes,
+                                ddt::Datatype::int8());
+}
+
+void BM_Flatten(benchmark::State& state) {
+  auto t = vector_type(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->flatten());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Flatten)->Arg(1024)->Arg(16384);
+
+void BM_Pack(benchmark::State& state) {
+  auto t = vector_type(state.range(0), 64);
+  std::vector<std::byte> src(static_cast<std::size_t>(t->extent()) + 64);
+  std::vector<std::byte> dst(t->size());
+  for (auto _ : state) {
+    ddt::pack(src.data(), *t, 1, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t->size()));
+}
+BENCHMARK(BM_Pack)->Arg(1024)->Arg(16384);
+
+void BM_Unpack(benchmark::State& state) {
+  auto t = vector_type(state.range(0), 64);
+  std::vector<std::byte> packed(t->size());
+  std::vector<std::byte> dst(static_cast<std::size_t>(t->extent()) + 64);
+  for (auto _ : state) {
+    ddt::unpack(packed.data(), *t, 1, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t->size()));
+}
+BENCHMARK(BM_Unpack)->Arg(1024)->Arg(16384);
+
+void BM_SegmentStream(benchmark::State& state) {
+  auto t = vector_type(16384, 64);
+  dataloop::CompiledDataloop loops(t);
+  const std::uint64_t window = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    dataloop::Segment seg(loops);
+    std::uint64_t emitted = 0;
+    for (std::uint64_t at = 0; at < loops.total_bytes(); at += window) {
+      const auto end =
+          std::min<std::uint64_t>(at + window, loops.total_bytes());
+      seg.process(at, end,
+                  [&emitted](std::int64_t, std::uint64_t sz) {
+                    emitted += sz;
+                  });
+    }
+    benchmark::DoNotOptimize(emitted);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(loops.total_bytes()));
+}
+BENCHMARK(BM_SegmentStream)->Arg(2048)->Arg(65536);
+
+void BM_SegmentCatchUp(benchmark::State& state) {
+  // Catch-up fast path: jump to the middle of a large vector stream.
+  auto t = vector_type(1 << 20, 64);
+  dataloop::CompiledDataloop loops(t);
+  for (auto _ : state) {
+    dataloop::Segment seg(loops);
+    const auto stats = seg.advance_to(loops.total_bytes() / 2);
+    benchmark::DoNotOptimize(stats.catchup_bytes);
+  }
+}
+BENCHMARK(BM_SegmentCatchUp);
+
+void BM_CheckpointTable(benchmark::State& state) {
+  auto t = vector_type(16384, 64);
+  dataloop::CompiledDataloop loops(t);
+  for (auto _ : state) {
+    dataloop::CheckpointTable table(loops, 2048);
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_CheckpointTable);
+
+void BM_CompileDataloop(benchmark::State& state) {
+  auto inner = ddt::Datatype::vector(8, 2, 4, ddt::Datatype::float64());
+  auto t = ddt::Datatype::hvector(64, 1, 4096, inner);
+  for (auto _ : state) {
+    dataloop::CompiledDataloop loops(t, 4);
+    benchmark::DoNotOptimize(loops.serialized_bytes());
+  }
+}
+BENCHMARK(BM_CompileDataloop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

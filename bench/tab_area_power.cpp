@@ -1,0 +1,50 @@
+// Sec 4.4 (in-text table): circuit complexity and power of the PULP
+// sPIN accelerator in 22 nm FDSOI — ~100 MGE / 23.5 mm^2 / ~6 W, with
+// the cluster/L2/interconnect and intra-cluster breakdowns, plus the
+// BlueField-budget re-parameterization (64 cores, 18 MiB).
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "pulp/pulp.hpp"
+
+using namespace netddt;
+
+namespace {
+
+void report(const char* name, const pulp::PulpConfig& cfg) {
+  const auto a = pulp::estimate_area(cfg);
+  std::printf("\n%s: %u clusters x %u cores, L1 %llu KiB/cluster, L2 %llu "
+              "MiB\n",
+              name, cfg.clusters, cfg.cores_per_cluster,
+              static_cast<unsigned long long>(cfg.l1_bytes_per_cluster >>
+                                              10),
+              static_cast<unsigned long long>(cfg.l2_bytes >> 20));
+  std::printf("  total: %.1f MGE = %.1f mm^2 (85%% density), ~%.1f W\n",
+              a.total_mge, a.total_mm2, a.watts);
+  std::printf("  breakdown: clusters %.0f%%, L2 SPM %.0f%%, interconnect "
+              "%.0f%%\n",
+              100 * a.clusters_share, 100 * a.l2_share,
+              100 * a.interconnect_share);
+  std::printf("  per cluster (%.2f MGE): L1 %.0f%%, I$ %.0f%%, cores "
+              "%.0f%%, DMA %.0f%%\n",
+              a.cluster_mge, 100 * a.l1_share, 100 * a.icache_share,
+              100 * a.cores_share, 100 * a.dma_share);
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Sec 4.4", "sPIN accelerator area/power (22 nm FDSOI)");
+  report("reference design", pulp::PulpConfig{});
+
+  pulp::PulpConfig bluefield;
+  bluefield.clusters = 8;
+  bluefield.l2_bytes = 10ull << 20;
+  report("BlueField-budget variant (paper: 64 cores / 18 MiB)", bluefield);
+
+  bench::note("paper: 100 MGE, 23.5 mm^2, ~6 W; clusters 39% / L2 59% / "
+              "interconnect 2%; in-cluster L1 84% / I$ 7% / cores 6% / "
+              "DMA 3%; BlueField compute budget ~51 mm^2");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Distributed BFS frontier exchange (the paper's introduction example:
+// "the algorithm sends data to all vertices that are neighbors of
+// vertices in the current frontier on remote nodes — here both the
+// source and the target data elements are scattered at different
+// locations in memory depending on the graph structure").
+//
+// Each BFS level produces a *different* scattered index set, so the
+// iovec approach must rebuild and re-ship its list every level, while
+// the datatype approach commits one indexed type per level and lets
+// the NIC scatter updates directly into the vertex array.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+#include "offload/runner.hpp"
+#include "sim/rng.hpp"
+
+using namespace netddt;
+
+namespace {
+
+// Vertex records: 16 B (distance + parent). Updates target a random
+// subset of the local vertex array whose density grows then shrinks
+// across BFS levels, like a real frontier.
+ddt::TypePtr frontier_type(std::uint64_t vertices, double density,
+                           std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::int64_t> displs;
+  for (std::uint64_t v = 0; v < vertices; ++v) {
+    if (rng.chance(density)) displs.push_back(static_cast<std::int64_t>(v));
+  }
+  if (displs.empty()) displs.push_back(0);
+  auto record = ddt::Datatype::contiguous(2, ddt::Datatype::float64());
+  return ddt::Datatype::indexed_block(1, displs, record);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kVertices = 1 << 16;  // local partition
+  const double level_density[] = {0.001, 0.02, 0.25, 0.45, 0.12, 0.01};
+
+  std::printf("BFS frontier exchange, %llu local vertices, 16 B records\n\n",
+              static_cast<unsigned long long>(kVertices));
+  std::printf("%-7s %10s %10s %12s %12s %12s %9s\n", "level", "updates",
+              "msg(KiB)", "host(us)", "offload(us)", "iovec(us)", "best");
+
+  double total_host = 0, total_off = 0;
+  for (std::size_t level = 0; level < std::size(level_density); ++level) {
+    auto t = frontier_type(kVertices, level_density[level], 99 + level);
+    const auto updates = t->flatten().size();
+
+    offload::ReceiveConfig cfg;
+    cfg.type = t;
+    cfg.strategy = offload::StrategyKind::kHostUnpack;
+    const auto host = offload::run_receive(cfg).result;
+    cfg.strategy = offload::StrategyKind::kSpecialized;
+    const auto off = offload::run_receive(cfg).result;
+    cfg.strategy = offload::StrategyKind::kIovec;
+    cfg.verify = false;
+    const auto iov = offload::run_receive(cfg).result;
+    if (!off.verified) {
+      std::printf("ERROR: level %zu mis-scattered\n", level);
+      return 1;
+    }
+
+    const double h = sim::to_us(host.msg_time), o = sim::to_us(off.msg_time),
+                 v = sim::to_us(iov.msg_time);
+    std::printf("%-7zu %10zu %10.1f %12.1f %12.1f %12.1f %9s\n", level,
+                updates, static_cast<double>(t->size()) / 1024.0, h, o, v,
+                o <= h && o <= v ? "offload" : (h <= v ? "host" : "iovec"));
+    total_host += h;
+    total_off += o;
+  }
+  std::printf("\nwhole traversal: host %.0f us vs offloaded %.0f us "
+              "(%.2fx)\n",
+              total_host, total_off, total_host / total_off);
+  std::printf("(sparse levels fit one packet and gain little; dense "
+              "levels scatter thousands of 16 B records where the NIC "
+              "wins)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Block-cyclic redistribution example: a ScaLAPACK-style 2D
+// block-cyclic matrix piece described with MPI_Type_create_darray,
+// serialized with the datatype codec (as a host would ship it to the
+// NIC or to a peer), and received with offloaded datatype processing.
+
+#include <cstdio>
+
+#include "ddt/codec.hpp"
+#include "ddt/darray.hpp"
+#include "offload/runner.hpp"
+
+using namespace netddt;
+
+int main() {
+  // A 256 x 256 double matrix, 2 x 2 process grid, 16 x 32 blocks.
+  const std::vector<std::int64_t> gsizes{256, 256};
+  const std::vector<ddt::Distribution> distribs{ddt::Distribution::kCyclic,
+                                                ddt::Distribution::kCyclic};
+  const std::vector<std::int64_t> dargs{16, 32};
+  const std::vector<std::int64_t> psizes{2, 2};
+
+  std::printf("256x256 float64 matrix, cyclic(16) x cyclic(32) over a 2x2 "
+              "grid\n\n");
+  std::printf("%-5s %10s %10s %12s %12s %10s\n", "rank", "elems", "regions",
+              "encoded(B)", "host(us)", "RW-CP(us)");
+
+  for (std::int64_t rank = 0; rank < 4; ++rank) {
+    auto piece = ddt::darray(rank, gsizes, distribs, dargs, psizes,
+                             ddt::Datatype::float64());
+
+    // Ship the description: serialize, then decode as the peer/NIC
+    // would — the decoded type must describe the identical layout.
+    const auto wire = ddt::encode(piece);
+    const auto remote = ddt::decode(wire);
+    if (!remote || (*remote)->flatten() != piece->flatten()) {
+      std::printf("ERROR: codec round trip mismatch for rank %lld\n",
+                  static_cast<long long>(rank));
+      return 1;
+    }
+
+    offload::ReceiveConfig cfg;
+    cfg.type = *remote;  // receive with the decoded description
+    cfg.strategy = offload::StrategyKind::kHostUnpack;
+    const auto host = offload::run_receive(cfg).result;
+    cfg.strategy = offload::StrategyKind::kRwCp;
+    const auto rw = offload::run_receive(cfg).result;
+    if (!rw.verified) {
+      std::printf("ERROR: rank %lld mis-scattered\n",
+                  static_cast<long long>(rank));
+      return 1;
+    }
+    std::printf("%-5lld %10llu %10zu %12zu %12.1f %10.1f\n",
+                static_cast<long long>(rank),
+                static_cast<unsigned long long>(piece->size() / 8),
+                piece->flatten().size(), wire.size(),
+                sim::to_us(host.msg_time), sim::to_us(rw.msg_time));
+  }
+  std::printf("\nall four pieces verified: each rank's block-cyclic slice "
+              "was scattered by the NIC from the packed stream\n");
+  return 0;
+}

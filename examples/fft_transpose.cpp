@@ -1,0 +1,64 @@
+// FFT transpose example (paper Sec 5.4): a 2D FFT over a row-partitioned
+// matrix needs a distributed transpose between the two 1D-FFT phases.
+// Encoding the transpose as a datatype (Hoefler & Gottlieb) lets the
+// NIC scatter each peer's block column-wise while it streams in — a
+// zero-copy transpose. The example receives one peer's block both ways,
+// verifies the offloaded scatter, and then reports the application-level
+// strong-scaling projection.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+#include "goal/fft2d.hpp"
+#include "offload/runner.hpp"
+
+using namespace netddt;
+
+int main() {
+  constexpr std::int64_t n = 8192;  // matrix is n x n complex doubles
+  constexpr std::int64_t p = 64;    // nodes
+  constexpr std::int64_t rows = n / p;
+
+  // A peer's block: rows x rows complex values scattered column-wise
+  // into this node's n-wide row block.
+  auto transpose =
+      ddt::Datatype::hvector(rows, rows * 16, n * 16, ddt::Datatype::int8());
+  std::printf("transpose datatype for n=%lld, P=%lld: %lld regions of "
+              "%lld B (message %lld KiB)\n\n",
+              static_cast<long long>(n), static_cast<long long>(p),
+              static_cast<long long>(rows),
+              static_cast<long long>(rows * 16),
+              static_cast<long long>(transpose->size() / 1024));
+
+  for (auto kind : {offload::StrategyKind::kHostUnpack,
+                    offload::StrategyKind::kRwCp,
+                    offload::StrategyKind::kSpecialized}) {
+    offload::ReceiveConfig cfg;
+    cfg.type = transpose;
+    cfg.strategy = kind;
+    const auto r = offload::run_receive(cfg).result;
+    std::printf("  %-15s message processing %8.1f us  (%6.1f Gbit/s)%s\n",
+                std::string(offload::strategy_name(kind)).c_str(),
+                sim::to_us(r.msg_time), r.msg_throughput_gbps(),
+                kind != offload::StrategyKind::kHostUnpack && !r.verified
+                    ? "  VERIFY FAILED"
+                    : "");
+    if (kind != offload::StrategyKind::kHostUnpack && !r.verified) return 1;
+  }
+
+  std::printf("\nFFT2D strong scaling projection (n = %lld):\n",
+              static_cast<long long>(20480));
+  std::printf("  %-7s %11s %11s %9s\n", "nodes", "host(ms)", "rwcp(ms)",
+              "speedup");
+  for (const auto& pt : goal::fft2d_scaling(20480, {64, 256, 1024})) {
+    std::printf("  %-7u %11.1f %11.1f %8.1f%%\n", pt.nodes,
+                sim::to_ms(pt.host.total), sim::to_ms(pt.offloaded.total),
+                pt.speedup_percent);
+  }
+  std::printf("(offloading removes the transpose unpack from the critical "
+              "path; the win shrinks at scale as per-message overheads "
+              "dominate)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Halo exchange example (the NAS-MG / stencil scenario from the paper's
+// motivation): a 3D double-precision grid exchanges its six faces with
+// neighbors. Each face is a subarray datatype; the x- and z-faces are
+// heavily strided. The example compares receiving all six faces with
+// host-based unpack vs NIC-offloaded processing and verifies the
+// offloaded grid contents.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+#include "ddt/pack.hpp"
+#include "offload/runner.hpp"
+
+using namespace netddt;
+
+namespace {
+
+// Face datatype of an n^3 grid: `dim` selects the sliced dimension,
+// `high` picks which side.
+ddt::TypePtr face_type(std::int64_t n, int dim, bool high) {
+  std::vector<std::int64_t> sizes{n, n, n};
+  std::vector<std::int64_t> sub{n, n, n};
+  std::vector<std::int64_t> start{0, 0, 0};
+  sub[static_cast<std::size_t>(dim)] = 1;
+  start[static_cast<std::size_t>(dim)] = high ? n - 1 : 0;
+  return ddt::Datatype::subarray(sizes, sub, start, ddt::Datatype::float64());
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::int64_t n = 64;
+  std::printf("3D halo exchange on a %lld^3 double grid (%lld KiB per "
+              "face)\n\n",
+              static_cast<long long>(n),
+              static_cast<long long>(n * n * 8 / 1024));
+
+  std::printf("%-8s %10s %12s %12s %10s %9s\n", "face", "regions",
+              "host(us)", "offload(us)", "speedup", "strategy");
+
+  double total_host = 0.0, total_off = 0.0;
+  for (int dim = 0; dim < 3; ++dim) {
+    for (bool high : {false, true}) {
+      auto face = face_type(n, dim, high);
+
+      offload::ReceiveConfig cfg;
+      cfg.type = face;
+      cfg.strategy = offload::StrategyKind::kHostUnpack;
+      const auto host = offload::run_receive(cfg).result;
+
+      // The engine would pick specialized where possible; use the
+      // general RW-CP path for the scattered faces to show both.
+      cfg.strategy = dim == 0 ? offload::StrategyKind::kSpecialized
+                              : offload::StrategyKind::kRwCp;
+      const auto off = offload::run_receive(cfg).result;
+      if (!off.verified) {
+        std::printf("ERROR: face %d/%d mis-scattered\n", dim, high);
+        return 1;
+      }
+
+      const char* names[] = {"z", "y", "x"};
+      std::printf("%s%-7s %10llu %12.1f %12.1f %9.2fx %9s\n", names[dim],
+                  high ? "+" : "-",
+                  static_cast<unsigned long long>(face->flatten().size()),
+                  sim::to_us(host.msg_time), sim::to_us(off.msg_time),
+                  static_cast<double>(host.msg_time) /
+                      static_cast<double>(off.msg_time),
+                  std::string(offload::strategy_name(off.strategy)).c_str());
+      total_host += sim::to_us(host.msg_time);
+      total_off += sim::to_us(off.msg_time);
+    }
+  }
+  std::printf("\nwhole halo: host %.1f us, offloaded %.1f us -> %.2fx\n",
+              total_host, total_off, total_host / total_off);
+  std::printf("(z/y faces win: few large regions; the x-faces are %lld "
+              "scattered 8 B elements — the tiny-block regime where Fig 8 "
+              "shows host unpack still wins, so a real MPI would keep "
+              "those on the host via MPI_Type_set_attr)\n",
+              static_cast<long long>(n * n));
+  return 0;
+}

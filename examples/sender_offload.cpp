@@ -1,0 +1,40 @@
+// Sender-side offload example (paper Sec 3.1 / Fig 4): sending a
+// column of a matrix three ways — CPU pack+send, streaming puts, and
+// outbound sPIN (PtlProcessPut) — showing how much sender CPU time each
+// strategy needs and when the first byte reaches the wire.
+
+#include <cstdio>
+
+#include "ddt/datatype.hpp"
+#include "offload/sender.hpp"
+
+using namespace netddt;
+
+int main() {
+  // 4096 columns of 512 B from a strided matrix: a 2 MiB message.
+  auto t = ddt::Datatype::hvector(4096, 512, 1024, ddt::Datatype::int8());
+  std::printf("sending %llu KiB as %llu strided regions\n\n",
+              static_cast<unsigned long long>(t->size() / 1024),
+              static_cast<unsigned long long>(t->flatten().size()));
+
+  std::printf("%-15s %12s %12s %14s %10s\n", "strategy", "total(us)",
+              "cpu-busy", "1st-departure", "verified");
+  for (auto s : {offload::SendStrategy::kPackSend,
+                 offload::SendStrategy::kStreamingPut,
+                 offload::SendStrategy::kOutboundSpin}) {
+    offload::SendConfig cfg;
+    cfg.type = t;
+    cfg.strategy = s;
+    const auto r = offload::run_send(cfg);
+    std::printf("%-15s %12.1f %12.1f %12.1fus %10s\n",
+                std::string(offload::send_strategy_name(s)).c_str(),
+                sim::to_us(r.total_time), sim::to_us(r.cpu_busy_time),
+                sim::to_us(r.first_departure), r.verified ? "yes" : "NO");
+    if (!r.verified) return 1;
+  }
+  std::printf("\npack+send keeps the CPU busy for the whole pack before "
+              "anything moves;\nstreaming puts overlap discovery with "
+              "transmission;\noutbound sPIN needs only the PtlProcessPut "
+              "control operation.\n");
+  return 0;
+}

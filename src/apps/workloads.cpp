@@ -1,0 +1,238 @@
+#include "apps/workloads.hpp"
+
+#include <cassert>
+
+#include "sim/rng.hpp"
+
+namespace netddt::apps {
+namespace {
+
+using ddt::Datatype;
+using ddt::TypePtr;
+
+int level(char input) {
+  assert(input >= 'a' && input <= 'd');
+  return input - 'a';
+}
+
+/// Sorted scattered displacements (in base-type extents): `n` entries
+/// with gaps of [min_gap, max_gap], deterministic per (seed).
+std::vector<std::int64_t> scattered(std::uint64_t n, std::int64_t min_gap,
+                                    std::int64_t max_gap,
+                                    std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::int64_t> displs;
+  displs.reserve(n);
+  std::int64_t at = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    displs.push_back(at);
+    at += rng.range(min_gap, max_gap);
+  }
+  return displs;
+}
+
+}  // namespace
+
+Workload comb(char input) {
+  // 3D double grid face exchange; a/b are single-packet messages (the
+  // paper's no-speedup cases), c/d are larger strided faces.
+  const int l = level(input);
+  TypePtr t;
+  switch (l) {
+    case 0: {  // contiguous 2 KiB plane: one packet, gamma = 1
+      const std::vector<std::int64_t> sizes{16, 16, 16}, sub{1, 16, 16},
+          st{0, 0, 0};
+      t = Datatype::subarray(sizes, sub, st, Datatype::float64());
+      break;
+    }
+    case 1: {  // strided ~2 KiB face: one packet, 48 blocks of 5 doubles
+      const std::vector<std::int64_t> sizes{8, 8, 8}, sub{8, 6, 5},
+          st{0, 2, 3};
+      t = Datatype::subarray(sizes, sub, st, Datatype::float64());
+      break;
+    }
+    case 2: {  // 64^3 y-face: 64 regions of 512 B
+      const std::vector<std::int64_t> sizes{64, 64, 64}, sub{64, 1, 64},
+          st{0, 63, 0};
+      t = Datatype::subarray(sizes, sub, st, Datatype::float64());
+      break;
+    }
+    default: {  // 128^3 y-face: 128 regions of 1 KiB
+      const std::vector<std::int64_t> sizes{128, 128, 128}, sub{128, 1, 128},
+          st{0, 127, 0};
+      t = Datatype::subarray(sizes, sub, st, Datatype::float64());
+      break;
+    }
+  }
+  return Workload{"COMB", "subarray", input, t, 1};
+}
+
+Workload fft2d(char input) {
+  // Row-column transpose: the receive datatype scatters a peer's block
+  // of n/P x n/P doubles into column-major position (paper Sec 5.4).
+  static constexpr std::int64_t kP = 64;
+  const std::int64_t n = 8192 + 4096 * level(input);  // 8K..20K
+  const std::int64_t b = n / kP;
+  auto block = Datatype::vector(b, b, n, Datatype::float64());
+  auto t = Datatype::contiguous(1, block);
+  return Workload{"FFT2D", "contiguous(vector)", input, t, 1};
+}
+
+Workload lammps(char input) {
+  // Scattered particles, variable-length runs of 1..4 atoms, 3 doubles
+  // (position) per atom.
+  const std::uint64_t atoms = 1024ull << (2 * level(input));  // 1K..64K
+  sim::Rng rng(42 + static_cast<std::uint64_t>(level(input)));
+  std::vector<std::int64_t> blocklens, displs;
+  std::int64_t at = 0;
+  std::uint64_t placed = 0;
+  while (placed < atoms) {
+    const std::int64_t run = std::min<std::int64_t>(
+        rng.range(1, 4), static_cast<std::int64_t>(atoms - placed));
+    blocklens.push_back(run);
+    displs.push_back(at);
+    at += run + rng.range(1, 8);
+    placed += static_cast<std::uint64_t>(run);
+  }
+  auto atom = Datatype::contiguous(3, Datatype::float64());
+  auto t = Datatype::indexed(blocklens, displs, atom);
+  return Workload{"LAMMPS", "index", input, t, 1};
+}
+
+Workload lammps_full(char input) {
+  // Full-property exchange: 8 doubles per atom, single-atom blocks.
+  const std::uint64_t atoms = 1024ull << (2 * level(input));  // 1K..64K
+  const auto displs = scattered(atoms, 1, 6, 77);
+  auto atom = Datatype::contiguous(8, Datatype::float64());
+  auto t = Datatype::indexed_block(1, displs, atom);
+  return Workload{"LAMMPS-F", "index_block", input, t, 1};
+}
+
+Workload milc(char input) {
+  // 4D lattice halo: su3 matrices (18 doubles = 144 B) in a plane of
+  // ny x nz sites -> vector(vector).
+  const std::int64_t ny = 8 << level(input);   // 8..32 (3 inputs used)
+  const std::int64_t nz = 8 << level(input);
+  auto su3 = Datatype::contiguous(18, Datatype::float64());
+  auto row = Datatype::hvector(ny, 1, 4 * 144, su3);    // x-stride 4 sites
+  auto t = Datatype::hvector(nz, 1, ny * 4 * 144 * 4, row);
+  return Workload{"MILC", "vector(vector)", input, t, 1};
+}
+
+Workload nas_lu(char input) {
+  // 4D array face: 5-double innermost dimension, exchanged in pairs
+  // (10 doubles = 80 B blocks, paper Fig 3).
+  const std::int64_t count = 512ll << (2 * level(input));  // 512..8192
+  auto t = Datatype::hvector(count, 80, 320, Datatype::int8());
+  return Workload{"NAS-LU", "vector", input, t, 1};
+}
+
+Workload nas_mg(char input) {
+  // 3D array faces; a/c tiny messages, b/d 256 KiB with contrasting
+  // block sizes (the paper's S alternates ~1.3 KiB and 256 KiB).
+  const int l = level(input);
+  TypePtr t;
+  switch (l) {
+    case 0:  // 1.25 KiB, 8 B blocks
+      t = Datatype::hvector(160, 8, 128, Datatype::int8());
+      break;
+    case 1:  // 256 KiB, 8 B blocks (x-face of a 181^2 grid idealized)
+      t = Datatype::hvector(32768, 8, 64, Datatype::int8());
+      break;
+    case 2:  // 2.5 KiB, 256 B rows
+      t = Datatype::hvector(10, 256, 1024, Datatype::int8());
+      break;
+    default:  // 256 KiB, 512 B rows (y-face)
+      t = Datatype::hvector(512, 512, 2048, Datatype::int8());
+      break;
+  }
+  return Workload{"NAS-MG", "vector", input, t, 1};
+}
+
+Workload spec_oc(char input) {
+  // Outer-core mesh points: ONE float per point at scattered indices —
+  // the paper's gamma = 512 stress case (512 4-byte blocks per packet).
+  const std::uint64_t points = 32768ull << level(input);  // 32K..256K
+  const auto displs = scattered(points, 2, 6, 1234);
+  auto t = Datatype::indexed_block(1, displs, Datatype::float32());
+  return Workload{"SPEC-OC", "index_block", input, t, 1};
+}
+
+Workload spec_cm(char input) {
+  // Crust-mantle points: 3 floats (12 B) per point.
+  const std::uint64_t points = 16384ull << level(input);  // 16K..128K
+  const auto displs = scattered(points, 1, 5, 4321);
+  auto point = Datatype::contiguous(3, Datatype::float32());
+  auto t = Datatype::indexed_block(1, displs, point);
+  return Workload{"SPEC-CM", "index_block", input, t, 1};
+}
+
+Workload sw4_x(char input) {
+  // x-direction ghost plane: single-site columns (24 B blocks).
+  const std::int64_t n = 48 + 24 * level(input);  // 48..120
+  auto t = Datatype::hvector(n * n, 24, 96, Datatype::int8());
+  return Workload{"SW4-X", "vector", input, t, 1};
+}
+
+Workload sw4_y(char input) {
+  // y-direction ghost plane: full rows (n x 8 B blocks).
+  const std::int64_t n = 48 + 24 * level(input);
+  auto t = Datatype::hvector(n * 2, n * 8, n * 32, Datatype::int8());
+  return Workload{"SW4-Y", "vector", input, t, 1};
+}
+
+namespace {
+
+Workload wrf(char input, bool x_direction) {
+  // Halo of a 3D grid {z, y, x} for two model variables -> a struct of
+  // two subarrays at different buffer displacements.
+  const std::int64_t nz = 16 + 8 * level(input);
+  const std::int64_t ny = 32 + 16 * level(input);
+  const std::int64_t nx = 32 + 16 * level(input);
+  const std::vector<std::int64_t> sizes{nz, ny, nx};
+  std::vector<std::int64_t> sub, start;
+  if (x_direction) {
+    sub = {nz, ny, 4};       // 4-wide columns: nz*ny small regions
+    start = {0, 0, nx - 4};
+  } else {
+    sub = {nz, 4, nx};       // 4 rows: nz*4 contiguous runs
+    start = {0, ny - 4, 0};
+  }
+  auto a = Datatype::subarray(sizes, sub, start, Datatype::float64());
+  const std::int64_t var_bytes = nz * ny * nx * 8;
+  const std::vector<std::int64_t> blocklens{1, 1};
+  const std::vector<std::int64_t> displs{0, var_bytes};
+  const std::vector<TypePtr> types{a, a};
+  auto t = Datatype::struct_type(blocklens, displs, types);
+  return Workload{x_direction ? "WRF-X" : "WRF-Y", "struct(subarray)",
+                  input, t, 1};
+}
+
+}  // namespace
+
+Workload wrf_x(char input) { return wrf(input, true); }
+Workload wrf_y(char input) { return wrf(input, false); }
+
+std::vector<Workload> fig16_workloads() {
+  std::vector<Workload> all;
+  for (char i : {'a', 'b', 'c', 'd'}) {
+    all.push_back(comb(i));
+    all.push_back(fft2d(i));
+    all.push_back(lammps(i));
+    all.push_back(lammps_full(i));
+    all.push_back(nas_mg(i));
+    all.push_back(spec_oc(i));
+    all.push_back(spec_cm(i));
+  }
+  for (char i : {'a', 'b', 'c'}) {  // three-input apps (paper layout)
+    all.push_back(milc(i));
+    all.push_back(nas_lu(i));
+    all.push_back(sw4_x(i));
+    all.push_back(sw4_y(i));
+    all.push_back(wrf_x(i));
+    all.push_back(wrf_y(i));
+  }
+  return all;
+}
+
+}  // namespace netddt::apps

@@ -1,0 +1,60 @@
+#pragma once
+// Application-derived datatypes (paper Sec 5.3).
+//
+// The paper extracts the communication datatypes of eight applications
+// (following Schneider et al.'s micro-application methodology [7,8]) and
+// replays them against the offload strategies. We rebuild each
+// datatype's *shape* from the paper's description — the constructor kind
+// is printed in Fig 16 under each app — and parameterize inputs a..d to
+// span the regimes the paper reports: single-packet messages (no
+// speedup), moderate gamma (big wins), and gamma = 512 (offload loses).
+//
+//   COMB       subarray             n-dim array face exchange
+//   FFT2D      contiguous(vector)   distributed matrix transpose
+//   LAMMPS     indexed              scattered particles, variable runs
+//   LAMMPS-F   indexed_block        scattered particles, full properties
+//   MILC       vector(vector)       4D lattice halo
+//   NAS-LU     vector               4D array faces, 5-double elements
+//   NAS-MG     vector               3D array faces
+//   SPEC-OC    indexed_block        ocean mesh points, 1 float each
+//   SPEC-CM    indexed_block        crust-mantle points, 3 floats each
+//   SW4-X/Y    vector               seismic ghost planes
+//   WRF-X/Y    struct(subarray)     weather halo exchanges
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+
+namespace netddt::apps {
+
+struct Workload {
+  std::string app;       // e.g. "NAS-MG"
+  std::string ddt_kind;  // constructor family as labeled in Fig 16
+  char input;            // 'a'..'d'
+  ddt::TypePtr type;
+  std::uint64_t count;   // instances per message
+
+  std::uint64_t message_bytes() const { return type->size() * count; }
+};
+
+// Individual builders (input selects the problem size).
+Workload comb(char input);
+Workload fft2d(char input);
+Workload lammps(char input);
+Workload lammps_full(char input);
+Workload milc(char input);
+Workload nas_lu(char input);
+Workload nas_mg(char input);
+Workload spec_oc(char input);
+Workload spec_cm(char input);
+Workload sw4_x(char input);
+Workload sw4_y(char input);
+Workload wrf_x(char input);
+Workload wrf_y(char input);
+
+/// The full Fig 16 grid: every app with its input sweep.
+std::vector<Workload> fig16_workloads();
+
+}  // namespace netddt::apps

@@ -1,0 +1,35 @@
+#include "dataloop/packer.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace netddt::dataloop {
+
+std::uint64_t Packer::pack(std::span<std::byte> out) {
+  const std::uint64_t first = segment_.position();
+  const std::uint64_t last =
+      std::min<std::uint64_t>(first + out.size(), segment_.total_bytes());
+  std::uint64_t written = 0;
+  segment_.process(first, last, [&](std::int64_t off, std::uint64_t sz) {
+    assert(off >= 0 &&
+           static_cast<std::uint64_t>(off) + sz <= source_.size());
+    std::memcpy(out.data() + written, source_.data() + off, sz);
+    written += sz;
+  });
+  return written;
+}
+
+void Unpacker::unpack(std::span<const std::byte> in) {
+  const std::uint64_t first = segment_.position();
+  const std::uint64_t last = first + in.size();
+  assert(last <= segment_.total_bytes() && "chunk overruns the stream");
+  std::uint64_t consumed = 0;
+  segment_.process(first, last, [&](std::int64_t off, std::uint64_t sz) {
+    assert(off >= 0 && static_cast<std::uint64_t>(off) + sz <= dest_.size());
+    std::memcpy(dest_.data() + off, in.data() + consumed, sz);
+    consumed += sz;
+  });
+  assert(consumed == in.size());
+}
+
+}  // namespace netddt::dataloop

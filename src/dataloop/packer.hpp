@@ -1,0 +1,54 @@
+#pragma once
+// Host-side incremental pack/unpack (the MPI_Pack / MPI_Unpack role,
+// with an implicit position cursor): stream a non-contiguous layout
+// into / out of caller-sized chunks using the segment engine. This is
+// what the pack+send sender baseline and the host-unpack receive
+// baseline execute functionally, and what MPITypes calls
+// MPIT_Type_memcpy (paper Sec 5.1).
+
+#include <cstdint>
+#include <span>
+
+#include "dataloop/dataloop.hpp"
+#include "dataloop/segment.hpp"
+
+namespace netddt::dataloop {
+
+/// Gather the layout into a packed stream, chunk by chunk.
+class Packer {
+ public:
+  /// `source` is the layout buffer base; it must cover the type's true
+  /// extent for every instance.
+  Packer(const CompiledDataloop& loops, std::span<const std::byte> source)
+      : segment_(loops), source_(source) {}
+
+  /// Produce up to out.size() packed bytes; returns the bytes written
+  /// (less than requested only when the stream ends).
+  std::uint64_t pack(std::span<std::byte> out);
+
+  std::uint64_t position() const { return segment_.position(); }
+  bool done() const { return segment_.finished(); }
+
+ private:
+  Segment segment_;
+  std::span<const std::byte> source_;
+};
+
+/// Scatter a packed stream into the layout, chunk by chunk.
+class Unpacker {
+ public:
+  Unpacker(const CompiledDataloop& loops, std::span<std::byte> dest)
+      : segment_(loops), dest_(dest) {}
+
+  /// Consume the whole chunk (the next in.size() stream bytes).
+  void unpack(std::span<const std::byte> in);
+
+  std::uint64_t position() const { return segment_.position(); }
+  bool done() const { return segment_.finished(); }
+
+ private:
+  Segment segment_;
+  std::span<std::byte> dest_;
+};
+
+}  // namespace netddt::dataloop

@@ -1,0 +1,283 @@
+#include "ddt/codec.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace netddt::ddt {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E444454;  // "NDDT"
+constexpr std::uint16_t kVersion = 1;
+// Decode-side sanity caps: reject absurd inputs before allocating.
+constexpr std::uint32_t kMaxNodes = 1u << 20;
+constexpr std::uint64_t kMaxListLen = 1u << 26;
+// Magnitude cap on counts/strides/displacements: large enough for any
+// real layout (1 TiB spans), small enough that extent arithmetic over a
+// 16-deep nest cannot overflow int64.
+constexpr std::int64_t kMaxAbs = 1ll << 40;
+
+bool sane(std::int64_t v) { return v >= -kMaxAbs && v <= kMaxAbs; }
+bool sane_count(std::int64_t v) { return v >= 0 && v <= kMaxAbs; }
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i64_list(std::span<const std::int64_t> xs) {
+    u64(xs.size());
+    for (auto x : xs) i64(x);
+  }
+  std::vector<std::byte> take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  std::vector<std::byte> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> buf) : buf_(buf) {}
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && at_ == buf_.size(); }
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint16_t u16() { return get<std::uint16_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  bool i64_list(std::vector<std::int64_t>* out) {
+    const std::uint64_t n = u64();
+    if (!ok_ || n > kMaxListLen) return fail();
+    out->clear();
+    out->reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) out->push_back(i64());
+    return ok_;
+  }
+
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+ private:
+  template <typename T>
+  T get() {
+    T v{};
+    if (!ok_ || buf_.size() - at_ < sizeof(T)) {
+      ok_ = false;
+      return v;
+    }
+    std::memcpy(&v, buf_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::byte> buf_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+/// Post-order node collection with pointer dedup: shared subtrees are
+/// emitted once.
+void collect(const TypePtr& t,
+             std::unordered_map<const Datatype*, std::uint32_t>& index,
+             std::vector<TypePtr>& order) {
+  if (index.contains(t.get())) return;
+  for (const auto& c : t->children()) collect(c, index, order);
+  index.emplace(t.get(), static_cast<std::uint32_t>(order.size()));
+  order.push_back(t);
+}
+
+void encode_node(
+    Writer& w, const TypePtr& t,
+    const std::unordered_map<const Datatype*, std::uint32_t>& index) {
+  w.u8(static_cast<std::uint8_t>(t->kind()));
+  auto child_ref = [&](std::size_t i) {
+    w.u32(index.at(t->child(i).get()));
+  };
+  switch (t->kind()) {
+    case Kind::kElementary: {
+      w.u64(t->size());
+      const auto& name = t->name();
+      w.u16(static_cast<std::uint16_t>(name.size()));
+      for (char c : name) w.u8(static_cast<std::uint8_t>(c));
+      break;
+    }
+    case Kind::kContiguous:
+      w.i64(t->count());
+      child_ref(0);
+      break;
+    case Kind::kVector:
+      w.i64(t->count());
+      w.i64(t->blocklen());
+      w.i64(t->stride_bytes());
+      child_ref(0);
+      break;
+    case Kind::kIndexedBlock:
+      w.i64(t->blocklen());
+      w.i64_list(t->displs_bytes());
+      child_ref(0);
+      break;
+    case Kind::kIndexed:
+      w.i64_list(t->blocklens());
+      w.i64_list(t->displs_bytes());
+      child_ref(0);
+      break;
+    case Kind::kStruct:
+      w.i64_list(t->blocklens());
+      w.i64_list(t->displs_bytes());
+      w.u64(t->children().size());
+      for (std::size_t i = 0; i < t->children().size(); ++i) child_ref(i);
+      break;
+    case Kind::kResized:
+      w.i64(t->lb());
+      w.i64(t->extent());
+      child_ref(0);
+      break;
+  }
+}
+
+std::optional<TypePtr> decode_node(Reader& r,
+                                   const std::vector<TypePtr>& nodes) {
+  const auto kind = r.u8();
+  if (!r.ok()) return std::nullopt;
+
+  auto child = [&]() -> TypePtr {
+    const std::uint32_t idx = r.u32();
+    if (!r.ok() || idx >= nodes.size()) return nullptr;
+    return nodes[idx];
+  };
+
+  switch (static_cast<Kind>(kind)) {
+    case Kind::kElementary: {
+      const std::uint64_t size = r.u64();
+      const std::uint16_t len = r.u16();
+      std::string name;
+      for (std::uint16_t i = 0; i < len; ++i) {
+        name.push_back(static_cast<char>(r.u8()));
+      }
+      if (!r.ok() || size > kMaxListLen) return std::nullopt;
+      return Datatype::elementary(size, std::move(name));
+    }
+    case Kind::kContiguous: {
+      const std::int64_t count = r.i64();
+      TypePtr c = child();
+      if (!c || !sane_count(count)) return std::nullopt;
+      return Datatype::contiguous(count, std::move(c));
+    }
+    case Kind::kVector: {
+      const std::int64_t count = r.i64();
+      const std::int64_t blocklen = r.i64();
+      const std::int64_t stride = r.i64();
+      TypePtr c = child();
+      if (!c || !sane_count(count) || !sane_count(blocklen) ||
+          !sane(stride)) {
+        return std::nullopt;
+      }
+      return Datatype::hvector(count, blocklen, stride, std::move(c));
+    }
+    case Kind::kIndexedBlock: {
+      const std::int64_t blocklen = r.i64();
+      std::vector<std::int64_t> displs;
+      if (!r.i64_list(&displs)) return std::nullopt;
+      TypePtr c = child();
+      if (!c || !sane_count(blocklen)) return std::nullopt;
+      for (auto d : displs) {
+        if (!sane(d)) return std::nullopt;
+      }
+      return Datatype::hindexed_block(blocklen, displs, std::move(c));
+    }
+    case Kind::kIndexed: {
+      std::vector<std::int64_t> blocklens, displs;
+      if (!r.i64_list(&blocklens) || !r.i64_list(&displs)) {
+        return std::nullopt;
+      }
+      TypePtr c = child();
+      if (!c || blocklens.size() != displs.size()) return std::nullopt;
+      for (auto bl : blocklens) {
+        if (!sane_count(bl)) return std::nullopt;
+      }
+      for (auto d : displs) {
+        if (!sane(d)) return std::nullopt;
+      }
+      return Datatype::hindexed(blocklens, displs, std::move(c));
+    }
+    case Kind::kStruct: {
+      std::vector<std::int64_t> blocklens, displs;
+      if (!r.i64_list(&blocklens) || !r.i64_list(&displs)) {
+        return std::nullopt;
+      }
+      const std::uint64_t n = r.u64();
+      if (!r.ok() || n != blocklens.size() || n != displs.size()) {
+        return std::nullopt;
+      }
+      std::vector<TypePtr> children;
+      children.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        TypePtr c = child();
+        if (!c) return std::nullopt;
+        children.push_back(std::move(c));
+      }
+      for (auto bl : blocklens) {
+        if (!sane_count(bl)) return std::nullopt;
+      }
+      for (auto d : displs) {
+        if (!sane(d)) return std::nullopt;
+      }
+      return Datatype::struct_type(blocklens, displs, children);
+    }
+    case Kind::kResized: {
+      const std::int64_t lb = r.i64();
+      const std::int64_t extent = r.i64();
+      TypePtr c = child();
+      if (!c || !sane(lb) || !sane_count(extent)) return std::nullopt;
+      return Datatype::resized(std::move(c), lb, extent);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const TypePtr& type) {
+  std::unordered_map<const Datatype*, std::uint32_t> index;
+  std::vector<TypePtr> order;
+  collect(type, index, order);
+
+  Writer w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(order.size()));
+  for (const auto& t : order) encode_node(w, t, index);
+  return w.take();
+}
+
+std::optional<TypePtr> decode(std::span<const std::byte> buffer) {
+  Reader r(buffer);
+  if (r.u32() != kMagic || r.u16() != kVersion) return std::nullopt;
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count == 0 || count > kMaxNodes) return std::nullopt;
+
+  std::vector<TypePtr> nodes;
+  nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto node = decode_node(r, nodes);
+    if (!node) return std::nullopt;
+    nodes.push_back(std::move(*node));
+  }
+  if (!r.done()) return std::nullopt;  // trailing garbage
+  return nodes.back();
+}
+
+std::uint64_t encoded_size(const TypePtr& type) {
+  return encode(type).size();
+}
+
+}  // namespace netddt::ddt

@@ -1,0 +1,34 @@
+#pragma once
+// Datatype serialization: a compact, self-contained binary encoding of
+// a datatype tree.
+//
+// This is the wire format for moving a datatype description off the
+// host — to the NIC (the paper's commit-time offload of DDT state), to
+// a peer (so both sides of a transfer agree on the layout), or to disk
+// (replaying application workloads). Shared subtrees are encoded once
+// and referenced by index, so a contiguous(10^6, T) costs the same as
+// contiguous(2, T).
+//
+// The encoding is versioned and fully validated on decode: a corrupt or
+// truncated buffer yields std::nullopt, never UB.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+
+namespace netddt::ddt {
+
+/// Serialize a (possibly shared/nested) datatype tree.
+std::vector<std::byte> encode(const TypePtr& type);
+
+/// Reconstruct a datatype from encode()'s output. Returns nullopt on
+/// malformed input.
+std::optional<TypePtr> decode(std::span<const std::byte> buffer);
+
+/// Size of encode(type) without materializing it.
+std::uint64_t encoded_size(const TypePtr& type);
+
+}  // namespace netddt::ddt

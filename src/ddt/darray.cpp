@@ -1,0 +1,83 @@
+#include "ddt/darray.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace netddt::ddt {
+namespace {
+
+/// Block-cyclic type for one dimension: the elements of a length-`n`
+/// dimension owned by grid coordinate `coord` of `p` with block size
+/// `b`, built over `inner` (one element of the remaining dimensions)
+/// and resized to the dimension's full span so outer dimensions can
+/// iterate over it.
+TypePtr distribute_dim(std::int64_t n, std::int64_t p, std::int64_t coord,
+                       std::int64_t b, TypePtr inner) {
+  const std::int64_t ex = inner->extent();
+  std::vector<std::int64_t> blocklens, displs;
+  // Blocks owned by `coord` start at coord*b, coord*b + p*b, ...
+  for (std::int64_t start = coord * b; start < n; start += p * b) {
+    blocklens.push_back(std::min(b, n - start));
+    displs.push_back(start * ex);
+  }
+  TypePtr t = Datatype::hindexed(blocklens, displs, std::move(inner));
+  return Datatype::resized(std::move(t), 0, n * ex);
+}
+
+}  // namespace
+
+TypePtr darray(std::int64_t rank, std::span<const std::int64_t> gsizes,
+               std::span<const Distribution> distribs,
+               std::span<const std::int64_t> dargs,
+               std::span<const std::int64_t> psizes, TypePtr base,
+               bool c_order) {
+  const std::size_t ndims = gsizes.size();
+  assert(ndims > 0 && distribs.size() == ndims && dargs.size() == ndims &&
+         psizes.size() == ndims);
+  assert(base && base->extent() >= 0);
+
+  // Grid coordinates of `rank` (row-major over psizes, per MPI).
+  std::vector<std::int64_t> coords(ndims);
+  std::int64_t grid = 1;
+  for (auto p : psizes) grid *= p;
+  assert(rank >= 0 && rank < grid);
+  std::int64_t rem = rank;
+  for (std::size_t d = ndims; d-- > 0;) {
+    coords[d] = rem % psizes[d];
+    rem /= psizes[d];
+  }
+
+  // Build innermost-first: in C order dimension ndims-1 is contiguous.
+  TypePtr t = std::move(base);
+  for (std::size_t k = ndims; k-- > 0;) {
+    const std::size_t d = c_order ? k : ndims - 1 - k;
+    const std::int64_t n = gsizes[d];
+    const std::int64_t p = psizes[d];
+    assert(n > 0 && p > 0);
+    switch (distribs[d]) {
+      case Distribution::kNone: {
+        assert(p == 1 && "kNone requires a single process in the dim");
+        const std::int64_t ex = t->extent();
+        t = Datatype::resized(Datatype::contiguous(n, std::move(t)), 0,
+                              n * ex);
+        break;
+      }
+      case Distribution::kBlock: {
+        std::int64_t b = dargs[d];
+        if (b == kDefaultDarg) b = (n + p - 1) / p;  // ceil(n/p)
+        assert(b * p >= n && "block size too small to cover the dim");
+        t = distribute_dim(n, p, coords[d], b, std::move(t));
+        break;
+      }
+      case Distribution::kCyclic: {
+        const std::int64_t b = dargs[d] == kDefaultDarg ? 1 : dargs[d];
+        assert(b > 0);
+        t = distribute_dim(n, p, coords[d], b, std::move(t));
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace netddt::ddt

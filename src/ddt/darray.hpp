@@ -1,0 +1,35 @@
+#pragma once
+// MPI_Type_create_darray: the datatype describing one process's piece
+// of an n-dimensional array distributed block / cyclic(k) / none over a
+// process grid — the constructor behind MPI-IO file views and
+// ScaLAPACK-style block-cyclic layouts. Completes the constructor set
+// for replaying HPC workloads against the offload engine.
+
+#include <cstdint>
+#include <span>
+
+#include "ddt/datatype.hpp"
+
+namespace netddt::ddt {
+
+enum class Distribution : std::uint8_t {
+  kNone,    // dimension not distributed (psize must be 1)
+  kBlock,   // contiguous blocks of ceil(gsize/psize) (or darg)
+  kCyclic,  // round-robin blocks of darg elements
+};
+
+/// Use the default block size for kBlock (ceil(gsize/psize)) or 1 for
+/// kCyclic.
+inline constexpr std::int64_t kDefaultDarg = -1;
+
+/// Build the darray type for process `rank` of a `psizes` grid over a
+/// global array of `gsizes` elements of `base`. `order`: true = C
+/// (row-major, dimension 0 outermost), false = Fortran. The result is
+/// resized to the full global-array extent, exactly as MPI specifies.
+TypePtr darray(std::int64_t rank, std::span<const std::int64_t> gsizes,
+               std::span<const Distribution> distribs,
+               std::span<const std::int64_t> dargs,
+               std::span<const std::int64_t> psizes, TypePtr base,
+               bool c_order = true);
+
+}  // namespace netddt::ddt

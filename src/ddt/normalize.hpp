@@ -1,0 +1,18 @@
+#pragma once
+// Datatype normalization (Träff-style, cf. paper Sec 3.2.3): rewrite a
+// type tree into an equivalent but simpler one. Normalization can turn a
+// nested type into one that a specialized NIC handler accepts (e.g. a
+// vector of contiguous(float64) becomes a plain vector of float64), and
+// shrinks the dataloop representation for the general handlers.
+//
+// Normalization preserves the type map exactly: the packed stream and
+// every region offset are unchanged; only the description is rewritten.
+
+#include "ddt/datatype.hpp"
+
+namespace netddt::ddt {
+
+/// Returns an equivalent, simplified type (possibly the input itself).
+TypePtr normalize(const TypePtr& type);
+
+}  // namespace netddt::ddt

@@ -1,0 +1,39 @@
+#include "ddt/pack.hpp"
+
+#include <cstring>
+
+namespace netddt::ddt {
+
+void pack(const std::byte* src, const Datatype& type, std::uint64_t count,
+          std::byte* dst) {
+  std::uint64_t stream = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t base = static_cast<std::int64_t>(i) * type.extent();
+    type.for_each_region(base, [&](std::int64_t off, std::uint64_t sz) {
+      std::memcpy(dst + stream, src + off, sz);
+      stream += sz;
+    });
+  }
+}
+
+void unpack(const std::byte* src, const Datatype& type, std::uint64_t count,
+            std::byte* dst) {
+  std::uint64_t stream = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t base = static_cast<std::int64_t>(i) * type.extent();
+    type.for_each_region(base, [&](std::int64_t off, std::uint64_t sz) {
+      std::memcpy(dst + off, src + stream, sz);
+      stream += sz;
+    });
+  }
+}
+
+std::vector<std::byte> pack_to_vector(const std::byte* src,
+                                      const Datatype& type,
+                                      std::uint64_t count) {
+  std::vector<std::byte> out(type.size() * count);
+  pack(src, type, count, out.data());
+  return out;
+}
+
+}  // namespace netddt::ddt

@@ -1,0 +1,31 @@
+#pragma once
+// Reference pack/unpack: the "gold" gather/scatter implementation every
+// other engine in the repository (dataloop segments, NIC handlers) is
+// validated against, and the kernel behind the host-CPU unpack baseline.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+
+namespace netddt::ddt {
+
+/// Gather `count` instances of `type` from `src` into the packed stream
+/// `dst`. `dst` must hold count * type.size() bytes; `src` is the buffer
+/// base address (offsets in the type may reach below it only if the type
+/// has a negative lower bound and the caller allocated accordingly).
+void pack(const std::byte* src, const Datatype& type, std::uint64_t count,
+          std::byte* dst);
+
+/// Scatter the packed stream `src` (count * type.size() bytes) into `dst`
+/// following `type`'s layout.
+void unpack(const std::byte* src, const Datatype& type, std::uint64_t count,
+            std::byte* dst);
+
+/// Convenience: pack into a freshly allocated vector.
+std::vector<std::byte> pack_to_vector(const std::byte* src,
+                                      const Datatype& type,
+                                      std::uint64_t count = 1);
+
+}  // namespace netddt::ddt

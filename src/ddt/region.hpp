@@ -1,0 +1,29 @@
+#pragma once
+// Contiguous memory regions: the common currency between the datatype
+// engine (which *describes* layouts), the dataloop engine (which walks
+// them incrementally), and the NIC model (which DMAs them).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netddt::ddt {
+
+/// One contiguous region of a (possibly non-contiguous) layout, expressed
+/// as a byte offset relative to the buffer base plus a byte length.
+struct Region {
+  std::int64_t offset = 0;
+  std::uint64_t size = 0;
+
+  friend bool operator==(const Region&, const Region&) = default;
+};
+
+/// Merge adjacent regions in place: regions must be given in type-map
+/// (packed-stream) order; consecutive entries where one ends exactly where
+/// the next begins are coalesced. Zero-length regions are dropped.
+void merge_adjacent(std::vector<Region>& regions);
+
+/// Total bytes covered by a region list.
+std::uint64_t total_bytes(const std::vector<Region>& regions);
+
+}  // namespace netddt::ddt

@@ -1,0 +1,61 @@
+#pragma once
+// FFT2D strong-scaling study (paper Sec 5.4, Fig 19).
+//
+// Methodology mirrors the paper: the unpack cost of the transpose
+// datatype is measured with the NIC simulation (per peer message), the
+// 1D-FFT compute time comes from a flop model, and the whole application
+// is replayed on a LogGP network model (the LogGOPSim role). The
+// transpose is encoded as an MPI datatype (Hoefler & Gottlieb [9]): the
+// all-to-all delivers each peer's n/P x n/P block which is scattered
+// column-wise into the local matrix — offloading the datatype removes
+// the CPU unpack from the critical path.
+
+#include <cstdint>
+#include <vector>
+
+#include "goal/loggp.hpp"
+#include "offload/strategy.hpp"
+#include "sim/time.hpp"
+
+namespace netddt::goal {
+
+struct Fft2dConfig {
+  std::uint64_t n = 20480;  // matrix is n x n complex doubles (16 B)
+  std::uint32_t nodes = 64;
+  offload::StrategyKind unpack = offload::StrategyKind::kHostUnpack;
+  LogGP net{};
+  double flops_gflops = 12.0;  // per-node 1D-FFT rate
+};
+
+struct Fft2dResult {
+  sim::Time total = 0;
+  sim::Time compute = 0;
+  sim::Time communicate = 0;  // alltoall wire time
+  sim::Time unpack = 0;       // datatype processing on the critical path
+  std::uint32_t nodes = 0;
+};
+
+/// Closed-form model of one FFT2D run (two 1D-FFT phases + two
+/// transposes): fast enough for large node-count sweeps.
+Fft2dResult run_fft2d(const Fft2dConfig& config);
+
+/// Trace-driven variant: builds the full GOAL-style schedule (per-rank
+/// calc/send/recv DAG for both all-to-alls, with per-message unpack
+/// calcs for the host baseline) and replays it through the LogGP
+/// simulator — the paper's LogGOPSim methodology. O(nodes^2) ops; use
+/// for validation up to a few hundred nodes.
+Fft2dResult run_fft2d_trace(const Fft2dConfig& config);
+
+/// The Fig 19 sweep: runtime and speedup of RW-CP over host unpack for
+/// node counts in `nodes`.
+struct ScalingPoint {
+  std::uint32_t nodes;
+  Fft2dResult host;
+  Fft2dResult offloaded;
+  double speedup_percent;  // (host - offloaded) / host * 100
+};
+std::vector<ScalingPoint> fft2d_scaling(std::uint64_t n,
+                                        const std::vector<std::uint32_t>&
+                                            nodes);
+
+}  // namespace netddt::goal

@@ -1,0 +1,103 @@
+#pragma once
+// General (any-datatype) offload strategies built on MPITypes-style
+// segments (paper Sec 3.2.4):
+//
+//  - HPU-local : one segment replica per vHPU, blocked-RR with
+//    delta_p = 1; no write conflicts, but every handler catches up over
+//    the P-1 packets processed by the other vHPUs.
+//  - RO-CP : read-only checkpoints every delta_r bytes; the handler
+//    copies the closest checkpoint locally (paying the copy) and
+//    catches up within the interval. Default scheduling (any HPU).
+//  - RW-CP : progressing checkpoints; blocked-RR assigns each
+//    delta_r-sequence of packets to the vHPU that exclusively owns the
+//    matching checkpoint -> no copy, no catch-up in order; a master
+//    copy allows rollback on out-of-order arrival.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dataloop/dataloop.hpp"
+#include "dataloop/segment.hpp"
+#include "ddt/datatype.hpp"
+#include "spin/handler.hpp"
+#include "spin/nic.hpp"
+#include "strategy.hpp"
+
+namespace netddt::offload {
+
+/// Inputs to the checkpoint-interval heuristic (paper Sec 3.2.4).
+struct IntervalInputs {
+  std::uint64_t message_bytes = 0;
+  std::uint32_t pkt_payload = 2048;   // k
+  std::uint32_t hpus = 16;            // P
+  sim::Time pkt_arrival = 0;          // T_pkt
+  sim::Time handler_runtime = 0;      // T_PH(gamma) estimate
+  double epsilon = 0.2;
+  std::uint64_t checkpoint_bytes = dataloop::Segment::kFootprintBytes;  // C
+  std::uint64_t nic_memory_budget = 0;   // M_NIC available for checkpoints
+  std::uint64_t pkt_buffer_bytes = 0;    // B_pkt
+};
+
+/// Choose delta_r (bytes, multiple of the packet payload) satisfying the
+/// paper's three constraints: scheduling overhead <= epsilon of the
+/// processing time, checkpoints fit in NIC memory, buffered packets fit
+/// in the packet buffer.
+std::uint64_t choose_checkpoint_interval(const IntervalInputs& in);
+
+/// Estimate T_PH(gamma) = T_init + T_setup + gamma * T_block for the
+/// general handler.
+sim::Time estimate_handler_runtime(double gamma, const spin::CostModel& c);
+
+struct GeneralConfig {
+  StrategyKind kind = StrategyKind::kRwCp;
+  std::uint32_t hpus = 16;
+  double epsilon = 0.2;
+  std::uint64_t nic_memory_budget = 2ull << 20;
+  std::uint64_t pkt_buffer_bytes = 512ull << 10;
+};
+
+class GeneralPlan {
+ public:
+  GeneralPlan(const ddt::TypePtr& type, std::uint64_t count,
+              const GeneralConfig& config, const spin::CostModel& cost);
+
+  /// Bytes moved to NIC memory to support the unpack: serialized
+  /// dataloops plus checkpoints (master + working set for RW-CP) or
+  /// per-vHPU segments (HPU-local).
+  std::uint64_t descriptor_bytes() const { return descriptor_bytes_; }
+
+  /// Host-side setup before posting the receive: walking the type to
+  /// create checkpoints and copying them across PCIe (zero for
+  /// HPU-local, whose replicas are fresh segments).
+  sim::Time host_setup_time() const { return host_setup_time_; }
+
+  std::uint64_t checkpoint_interval() const { return interval_; }
+  std::uint64_t checkpoints() const {
+    return table_ ? table_->size() : 0;
+  }
+
+  spin::ExecutionContext context(spin::NicModel& nic);
+
+  const dataloop::CompiledDataloop& loops() const { return loops_; }
+
+ private:
+  void payload_hpu_local(spin::HandlerArgs& args);
+  void payload_ro_cp(spin::HandlerArgs& args);
+  void payload_rw_cp(spin::HandlerArgs& args);
+  void scatter(spin::HandlerArgs& args, dataloop::Segment& seg);
+
+  GeneralConfig config_;
+  const spin::CostModel* cost_;
+  dataloop::CompiledDataloop loops_;
+  std::uint64_t interval_ = 0;
+  std::optional<dataloop::CheckpointTable> table_;
+  std::vector<dataloop::Segment> segments_;       // vHPU-owned state
+  std::vector<bool> rw_initialized_;
+  std::uint64_t descriptor_bytes_ = 0;
+  sim::Time host_setup_time_ = 0;
+  spin::SchedulingPolicy policy_;
+};
+
+}  // namespace netddt::offload

@@ -1,0 +1,78 @@
+#include "offload/host_model.hpp"
+
+#include <unordered_set>
+
+namespace netddt::offload {
+namespace {
+
+std::uint64_t touched_line_bytes(const ddt::Datatype& type,
+                                 std::uint64_t count,
+                                 std::uint64_t line_bytes) {
+  // Count distinct destination cache lines across all regions. Regions
+  // are disjoint, so summing per-region line spans over-counts shared
+  // boundary lines only; we merge adjacent regions first (flatten does)
+  // and accept the remaining boundary double-count as noise < 1 line per
+  // region.
+  std::uint64_t lines = 0;
+  const auto regions = type.flatten(count);
+  std::int64_t last_line = -1;
+  for (const auto& r : regions) {
+    const std::int64_t first =
+        r.offset / static_cast<std::int64_t>(line_bytes);
+    const std::int64_t last =
+        (r.offset + static_cast<std::int64_t>(r.size) - 1) /
+        static_cast<std::int64_t>(line_bytes);
+    lines += static_cast<std::uint64_t>(last - first + 1);
+    if (first == last_line && lines > 0) --lines;  // shared boundary line
+    last_line = last;
+  }
+  return lines * line_bytes;
+}
+
+}  // namespace
+
+HostUnpackEstimate host_unpack_estimate(const ddt::Datatype& type,
+                                        std::uint64_t count,
+                                        const spin::CostModel& cost) {
+  HostUnpackEstimate est;
+  const auto regions = type.flatten(1);
+  const std::uint64_t blocks_per_instance = regions.size();
+  est.blocks = blocks_per_instance * count;
+
+  sim::Time per_instance = 0;
+  for (const auto& r : regions) {
+    per_instance += cost.host_block_overhead +
+                    sim::transfer_time(r.size, cost.host_copy_gBps * 8.0);
+  }
+  est.unpack_time = per_instance * static_cast<sim::Time>(count);
+
+  const std::uint64_t message = type.size() * count;
+  const std::uint64_t touched =
+      touched_line_bytes(type, count, cost.cacheline_bytes);
+  // Paper Fig 17 accounting: the message lands in memory once, then the
+  // unpack's LLC misses (packed-stream reads + destination line fills)
+  // move data again. Write-backs are not counted (they happen lazily).
+  est.traffic_bytes = message       // NIC -> memory
+                      + message     // packed-stream read misses
+                      + touched;    // destination line fills (RFO)
+  return est;
+}
+
+sim::Time host_pack_time(const ddt::Datatype& type, std::uint64_t count,
+                         const spin::CostModel& cost) {
+  // Packing walks the same regions; gathering into a dense buffer has
+  // the same block overhead + copy cost structure as unpacking.
+  return host_unpack_estimate(type, count, cost).unpack_time;
+}
+
+sim::Time host_checkpoint_setup_time(std::uint64_t blocks,
+                                     std::uint64_t checkpoint_bytes,
+                                     const spin::CostModel& cost) {
+  const sim::Time walk =
+      cost.host_checkpoint_walk_per_block * static_cast<sim::Time>(blocks);
+  const sim::Time copy = cost.pcie_read_latency +  // doorbell/setup
+                         cost.pcie_transfer(checkpoint_bytes);
+  return walk + copy;
+}
+
+}  // namespace netddt::offload

@@ -1,0 +1,201 @@
+#include "offload/runner.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+#include "ddt/pack.hpp"
+#include "offload/general.hpp"
+#include "offload/host_model.hpp"
+#include "offload/iovec.hpp"
+#include "offload/specialized.hpp"
+#include "p4/put.hpp"
+#include "spin/link.hpp"
+#include "spin/nic.hpp"
+
+namespace netddt::offload {
+
+std::string_view strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kHostUnpack: return "Host";
+    case StrategyKind::kSpecialized: return "Specialized";
+    case StrategyKind::kHpuLocal: return "HPU-local";
+    case StrategyKind::kRoCp: return "RO-CP";
+    case StrategyKind::kRwCp: return "RW-CP";
+    case StrategyKind::kIovec: return "Portals4-iovec";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::byte> packed_pattern(std::uint64_t bytes,
+                                      std::uint64_t seed) {
+  std::vector<std::byte> v(bytes);
+  for (std::uint64_t i = 0; i < bytes; ++i) {
+    v[i] = static_cast<std::byte>((i * 167 + seed * 13 + 5) & 0xFF);
+  }
+  return v;
+}
+
+}  // namespace
+
+ReceiveRun run_receive(const ReceiveConfig& config) {
+  assert(config.type && config.type->size() > 0);
+  assert(config.type->lb() >= 0 &&
+         "experiments assume non-negative layouts");
+
+  const std::uint64_t msg_bytes = config.type->size() * config.count;
+  // Instance i occupies [i*extent + lb, i*extent + ub): with lb > 0 the
+  // last instance reaches beyond count*extent, so size off ub.
+  const std::uint64_t buffer_bytes =
+      static_cast<std::uint64_t>(config.type->extent()) *
+          (config.count - 1) +
+      static_cast<std::uint64_t>(config.type->ub()) + 64;
+  const std::uint64_t npkt =
+      p4::packet_count(msg_bytes, config.cost.pkt_payload);
+
+  ReceiveRun run;
+  ReceiveResult& res = run.result;
+  res.strategy = config.strategy;
+  res.message_bytes = msg_bytes;
+  res.packets = npkt;
+
+  const auto regions = config.type->flatten(config.count);
+  res.gamma = static_cast<double>(regions.size()) /
+              static_cast<double>(npkt);
+
+  // The packed message (what the sender's pack/streaming produced).
+  const auto packed = packed_pattern(msg_bytes, config.seed);
+
+  // Host-unpack baseline keeps a bounce buffer next to the receive
+  // buffer: [0, buffer) receive area, [buffer, buffer+msg) bounce.
+  const bool host_based = config.strategy == StrategyKind::kHostUnpack;
+  const std::uint64_t host_bytes =
+      host_based ? buffer_bytes + msg_bytes : buffer_bytes;
+
+  sim::Engine engine;
+  spin::Host host(host_bytes);
+  spin::NicModel nic(engine, host, config.cost,
+                     spin::NicConfig{config.hpus, config.nicmem_bytes});
+  spin::Link link(engine, nic, nic.cost());
+  if (config.trace_dma) nic.dma().enable_trace(true);
+
+  // Strategy setup (before the ready-to-receive goes out).
+  std::unique_ptr<SpecializedPlan> specialized;
+  std::unique_ptr<GeneralPlan> general;
+  std::unique_ptr<IovecPlan> iovec;
+  p4::MatchEntry me;
+  me.match_bits = 0x5197;
+  me.buffer_offset = 0;
+  me.length = buffer_bytes;
+
+  switch (config.strategy) {
+    case StrategyKind::kHostUnpack:
+      me.buffer_offset = static_cast<std::int64_t>(buffer_bytes);  // bounce
+      break;
+    case StrategyKind::kSpecialized: {
+      specialized = SpecializedPlan::create(config.type, config.count,
+                                            nic.cost(),
+                                            /*closed_form_only=*/false);
+      res.nic_descriptor_bytes = specialized->descriptor_bytes();
+      nic.memory().alloc(res.nic_descriptor_bytes, "specialized");
+      me.context = nic.register_context(specialized->context(nic));
+      break;
+    }
+    case StrategyKind::kHpuLocal:
+    case StrategyKind::kRoCp:
+    case StrategyKind::kRwCp: {
+      GeneralConfig gc;
+      gc.kind = config.strategy;
+      gc.hpus = config.hpus;
+      gc.epsilon = config.epsilon;
+      gc.nic_memory_budget = config.nicmem_bytes / 2;
+      gc.pkt_buffer_bytes = config.pkt_buffer_bytes;
+      general = std::make_unique<GeneralPlan>(config.type, config.count, gc,
+                                              nic.cost());
+      res.nic_descriptor_bytes = general->descriptor_bytes();
+      res.host_setup_time = general->host_setup_time();
+      res.checkpoint_interval = general->checkpoint_interval();
+      res.checkpoints = general->checkpoints();
+      nic.memory().alloc(res.nic_descriptor_bytes, "general");
+      me.context = nic.register_context(general->context(nic));
+      break;
+    }
+    case StrategyKind::kIovec: {
+      iovec = std::make_unique<IovecPlan>(config.type, config.count,
+                                          nic.cost());
+      res.nic_descriptor_bytes = iovec->descriptor_bytes();
+      res.host_setup_time = iovec->host_setup_time();
+      me.context = nic.register_context(iovec->context(nic));
+      break;
+    }
+  }
+  nic.match_list().append(p4::ListKind::kPriority, me);
+
+  // Stream the message (t = 0 is the ready-to-receive instant).
+  const std::uint64_t msg_id = 1;
+  auto packets = p4::packetize(msg_id, me.match_bits, packed,
+                               nic.cost().pkt_payload);
+  if (config.ooo_window > 1) {
+    link.send_shuffled(packets, 0, config.ooo_window, config.seed);
+  } else {
+    link.send(packets, 0);
+  }
+  engine.run();
+
+  const auto* info = nic.info(msg_id);
+  assert(info != nullptr && info->done && "message did not complete");
+
+  res.msg_time = info->unpack_done - info->first_byte;
+  res.e2e_time = info->unpack_done;
+  res.dma_writes = nic.dma().total_writes();
+  res.dma_queue_peak = nic.dma().max_queue_depth();
+  res.pkt_buffer_peak = nic.packet_buffer().peak;
+  res.nic_memory_peak = nic.memory().peak();
+  res.handlers = info->handlers;
+  if (info->handlers > 0) {
+    res.handler_init = info->init_time / static_cast<sim::Time>(info->handlers);
+    res.handler_setup =
+        info->setup_time / static_cast<sim::Time>(info->handlers);
+    res.handler_processing =
+        info->processing_time / static_cast<sim::Time>(info->handlers);
+  }
+  if (config.trace_dma) run.dma_trace = nic.dma().depth_trace();
+
+  if (host_based) {
+    // The CPU unpack happens after the full message landed in the
+    // bounce buffer.
+    const auto est =
+        host_unpack_estimate(*config.type, config.count, config.cost);
+    res.msg_time += est.unpack_time;
+    res.e2e_time += est.unpack_time;
+    res.host_traffic_bytes = est.traffic_bytes;
+    if (config.verify) {
+      // The bounce buffer must hold the packed stream; unpack it
+      // functionally to mirror what the CPU would produce.
+      res.verified =
+          std::memcmp(host.memory().data() + buffer_bytes, packed.data(),
+                      msg_bytes) == 0;
+    }
+  } else {
+    // Offloaded: the only main-memory traffic is the scattered message.
+    res.host_traffic_bytes = msg_bytes;
+    if (config.verify) {
+      std::vector<std::byte> reference(buffer_bytes, std::byte{0});
+      ddt::unpack(packed.data(), *config.type, config.count,
+                  reference.data());
+      res.verified = true;
+      for (const auto& r : regions) {
+        if (std::memcmp(host.memory().data() + r.offset,
+                        reference.data() + r.offset, r.size) != 0) {
+          res.verified = false;
+          break;
+        }
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace netddt::offload

@@ -1,0 +1,41 @@
+#pragma once
+// Single-receive experiment driver: builds a sender/link/NIC/host world,
+// installs one offload strategy, streams one message, verifies the
+// receive buffer against the reference unpack, and reports all the
+// quantities the paper's figures plot.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+#include "offload/strategy.hpp"
+#include "spin/cost_model.hpp"
+
+namespace netddt::offload {
+
+struct ReceiveConfig {
+  ddt::TypePtr type;
+  std::uint64_t count = 1;
+  StrategyKind strategy = StrategyKind::kRwCp;
+  spin::CostModel cost{};
+  std::uint32_t hpus = 16;
+  std::uint64_t nicmem_bytes = 4ull << 20;
+  double epsilon = 0.2;  // RW/RO-CP scheduling-overhead budget
+  std::uint64_t pkt_buffer_bytes = 512ull << 10;
+  /// Reorder payload packets within windows of this many slots (0 = in
+  /// order). Exercises segment resets / checkpoint rollback.
+  std::uint32_t ooo_window = 0;
+  std::uint64_t seed = 1;
+  bool verify = true;
+  bool trace_dma = false;  // record the Fig 15 queue-depth trace
+};
+
+struct ReceiveRun {
+  ReceiveResult result;
+  std::vector<std::pair<sim::Time, std::size_t>> dma_trace;
+};
+
+ReceiveRun run_receive(const ReceiveConfig& config);
+
+}  // namespace netddt::offload

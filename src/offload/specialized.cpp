@@ -1,0 +1,185 @@
+#include "offload/specialized.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace netddt::offload {
+
+void leaf_window(const dataloop::CompiledDataloop& loops,
+                 std::uint64_t first, std::uint64_t last,
+                 const std::function<void(std::int64_t, std::uint64_t,
+                                          std::uint32_t)>& fn) {
+  const dataloop::Dataloop& leaf = loops.root();
+  assert(leaf.leaf && "leaf_window requires a single-leaf dataloop");
+  const std::uint64_t instance_size = leaf.size;
+  const std::int64_t instance_ext = loops.root_extent();
+
+  std::uint64_t pos = first;
+  std::int64_t prev_block = -2;  // forces a fresh lookup on entry
+  while (pos < last) {
+    const std::uint64_t instance = pos / instance_size;
+    const std::uint64_t local = pos % instance_size;
+    const std::int64_t base =
+        static_cast<std::int64_t>(instance) * instance_ext;
+
+    std::int64_t block = 0;
+    std::uint64_t block_start = 0;  // stream offset of block within instance
+    std::uint32_t steps = 0;
+    switch (leaf.kind) {
+      case dataloop::LoopKind::kContig:
+        block = 0;
+        block_start = 0;
+        break;
+      case dataloop::LoopKind::kVector:
+      case dataloop::LoopKind::kBlockIndexed:
+        block = static_cast<std::int64_t>(local / leaf.block_bytes);
+        block_start = static_cast<std::uint64_t>(block) * leaf.block_bytes;
+        break;
+      case dataloop::LoopKind::kIndexed: {
+        // Sequential continuation is free; a jump costs a binary search
+        // (the paper's "modified binary search" on the offset lists).
+        const auto it = std::upper_bound(leaf.stream_prefix.begin(),
+                                         leaf.stream_prefix.end(), local);
+        block = static_cast<std::int64_t>(
+                    std::distance(leaf.stream_prefix.begin(), it)) -
+                1;
+        block_start = leaf.stream_prefix[static_cast<std::size_t>(block)];
+        if (block != prev_block + 1) {
+          steps = static_cast<std::uint32_t>(std::ceil(
+              std::log2(static_cast<double>(leaf.stream_prefix.size()))));
+        }
+        break;
+      }
+      case dataloop::LoopKind::kStruct:
+        assert(false && "struct is never a leaf");
+        return;
+    }
+    prev_block = block;
+
+    const std::uint64_t bytes = leaf.leaf_block_bytes(block);
+    const std::uint64_t rem = local - block_start;
+    const std::int64_t host_off =
+        base + leaf.leaf_block_offset(block) + static_cast<std::int64_t>(rem);
+    const std::uint64_t take =
+        std::min<std::uint64_t>({bytes - rem, last - pos});
+    fn(host_off, take, steps);
+    pos += take;
+  }
+}
+
+std::unique_ptr<SpecializedPlan> SpecializedPlan::create(
+    const ddt::TypePtr& type, std::uint64_t count,
+    const spin::CostModel& cost, bool closed_form_only) {
+  dataloop::CompiledDataloop probe(type, count);
+  if (!probe.root().leaf && closed_form_only) return nullptr;
+  return std::unique_ptr<SpecializedPlan>(
+      new SpecializedPlan(type, count, cost));
+}
+
+SpecializedPlan::SpecializedPlan(const ddt::TypePtr& type,
+                                 std::uint64_t count,
+                                 const spin::CostModel& cost)
+    : loops_(type, count), cost_(&cost) {
+  const dataloop::Dataloop& leaf = loops_.root();
+  if (!leaf.leaf) {
+    // Region-list fallback: offset + size per region, 16 B entries.
+    closed_form_ = false;
+    regions_ = type->flatten(count);
+    prefix_.reserve(regions_.size() + 1);
+    std::uint64_t at = 0;
+    for (const auto& r : regions_) {
+      prefix_.push_back(at);
+      at += r.size;
+    }
+    prefix_.push_back(at);
+    descriptor_bytes_ = 16 + regions_.size() * 16;
+    return;
+  }
+  switch (leaf.kind) {
+    case dataloop::LoopKind::kContig:
+      descriptor_bytes_ = 16;  // base pointer + length
+      break;
+    case dataloop::LoopKind::kVector:
+      descriptor_bytes_ = 24;  // spin_vec_t: count, block_size, stride
+      break;
+    case dataloop::LoopKind::kBlockIndexed:
+      descriptor_bytes_ = 16 + leaf.displs.size() * 8;
+      break;
+    case dataloop::LoopKind::kIndexed:
+      // Offset list + per-block size (prefix) list.
+      descriptor_bytes_ = 16 + leaf.displs.size() * 16;
+      break;
+    case dataloop::LoopKind::kStruct:
+      break;  // unreachable: struct is never a leaf
+  }
+}
+
+spin::ExecutionContext SpecializedPlan::context(spin::NicModel& nic) {
+  (void)nic;
+  spin::ExecutionContext ctx;
+  ctx.policy = spin::SchedulingPolicy::Default();
+  const spin::CostModel& c = *cost_;
+
+  if (closed_form_) {
+    ctx.payload = [this, &c](spin::HandlerArgs& args) {
+      args.meter.charge(spin::Phase::kInit, c.h_init);
+      const std::uint64_t first = args.pkt.offset;
+      const std::uint64_t last = first + args.pkt.payload_bytes;
+      std::uint64_t stream = 0;
+      leaf_window(loops_, first, last,
+                  [&](std::int64_t host_off, std::uint64_t len,
+                      std::uint32_t search_steps) {
+                    args.meter.charge(spin::Phase::kSetup,
+                                      search_steps * sim::ns(8));
+                    args.meter.charge(spin::Phase::kProcessing,
+                                      c.h_block_specialized + c.h_dma_issue);
+                    args.dma.write(args.meter.total(),
+                                   args.buffer_offset + host_off,
+                                   {args.pkt.data + stream, len});
+                    stream += len;
+                  });
+    };
+  } else {
+    // Region-list handler: binary-search the packet start, then walk
+    // entries sequentially.
+    ctx.payload = [this, &c](spin::HandlerArgs& args) {
+      args.meter.charge(spin::Phase::kInit, c.h_init);
+      const std::uint64_t first = args.pkt.offset;
+      const std::uint64_t last = first + args.pkt.payload_bytes;
+      const auto steps = static_cast<sim::Time>(std::ceil(
+          std::log2(static_cast<double>(prefix_.size()))));
+      args.meter.charge(spin::Phase::kSetup, steps * sim::ns(8));
+
+      auto it = std::upper_bound(prefix_.begin(), prefix_.end(), first);
+      auto idx =
+          static_cast<std::uint64_t>(std::distance(prefix_.begin(), it)) - 1;
+      std::uint64_t pos = first;
+      std::uint64_t stream = 0;
+      while (pos < last) {
+        const auto& r = regions_[idx];
+        const std::uint64_t rem = pos - prefix_[idx];
+        const std::uint64_t take =
+            std::min<std::uint64_t>(r.size - rem, last - pos);
+        args.meter.charge(spin::Phase::kProcessing,
+                          c.h_block_specialized + c.h_dma_issue);
+        args.dma.write(args.meter.total(),
+                       args.buffer_offset + r.offset +
+                           static_cast<std::int64_t>(rem),
+                       {args.pkt.data + stream, take});
+        pos += take;
+        stream += take;
+        if (pos == prefix_[idx + 1]) ++idx;
+      }
+    };
+  }
+
+  ctx.completion = [&c](spin::HandlerArgs& args) {
+    args.meter.charge(spin::Phase::kProcessing, c.h_complete);
+    // Zero-byte signalled DMA: tells the host all data is unpacked.
+    args.dma.write(args.meter.total(), 0, {}, /*signal_event=*/true);
+  };
+  return ctx;
+}
+
+}  // namespace netddt::offload

@@ -1,0 +1,76 @@
+#pragma once
+// Datatype-specialized payload handlers (paper Sec 3.2.3).
+//
+// A type qualifies for a closed-form handler when (after normalization)
+// it compiles to a single leaf dataloop — vector, indexed-block or
+// indexed over a gap-free base — which is exactly the paper's "elementary
+// or contiguous-of-elementary base type" condition. The handler then
+// computes destination offsets directly from the packet's stream offset:
+// a division for vector/indexed-block, a binary search over the block-
+// size prefix sums for indexed. No inter-packet state exists, so any HPU
+// can process any packet with no catch-up and no checkpoints.
+//
+// For nested types with no closed form, the plan falls back to a
+// *region-list* handler: the host flattens the type into (offset, size)
+// lists stored in NIC memory and the handler binary-searches them — the
+// paper's hand-written handlers for index/struct types work exactly this
+// way ("a modified binary search on these lists that have size linear in
+// the number of non-contiguous regions", Sec 3.2.3), trading NIC memory
+// linear in the region count for stateless O(gamma + log n) handlers.
+
+#include <cstdint>
+#include <memory>
+
+#include "dataloop/dataloop.hpp"
+#include "ddt/datatype.hpp"
+#include "spin/handler.hpp"
+#include "spin/nic.hpp"
+
+namespace netddt::offload {
+
+class SpecializedPlan {
+ public:
+  /// Build a specialized plan: closed-form when the (normalized) type is
+  /// a single leaf dataloop, region-list otherwise. Returns nullptr only
+  /// when `closed_form_only` is set and no closed form exists.
+  static std::unique_ptr<SpecializedPlan> create(
+      const ddt::TypePtr& type, std::uint64_t count,
+      const spin::CostModel& cost, bool closed_form_only = true);
+
+  bool closed_form() const { return closed_form_; }
+
+  /// Parameter bytes the host copies to NIC memory: the spin_vec_t-style
+  /// descriptor for vector, the displacement (and size) lists for the
+  /// indexed flavours.
+  std::uint64_t descriptor_bytes() const { return descriptor_bytes_; }
+
+  /// Build the execution context (handlers reference this plan; keep it
+  /// alive for the NIC's lifetime).
+  spin::ExecutionContext context(spin::NicModel& nic);
+
+  const dataloop::CompiledDataloop& loops() const { return loops_; }
+
+ private:
+  SpecializedPlan(const ddt::TypePtr& type, std::uint64_t count,
+                  const spin::CostModel& cost);
+
+  dataloop::CompiledDataloop loops_;
+  const spin::CostModel* cost_;
+  std::uint64_t descriptor_bytes_ = 0;
+  bool closed_form_ = true;
+  // Region-list mode state (the lists living in NIC memory).
+  std::vector<ddt::Region> regions_;
+  std::vector<std::uint64_t> prefix_;
+};
+
+/// Walk the destination regions of stream window [first, last) of a
+/// single-leaf dataloop in closed form. Calls fn(host_offset, len,
+/// search_steps) per region, where search_steps is the number of
+/// binary-search iterations spent locating the region (0 for arithmetic
+/// kinds and for sequential continuation).
+void leaf_window(const dataloop::CompiledDataloop& loops,
+                 std::uint64_t first, std::uint64_t last,
+                 const std::function<void(std::int64_t, std::uint64_t,
+                                          std::uint32_t)>& fn);
+
+}  // namespace netddt::offload

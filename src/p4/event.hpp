@@ -1,0 +1,65 @@
+#pragma once
+// Portals 4 completion notification: full events posted to an event
+// queue plus lightweight counting events (paper Sec 2.1.1).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netddt::p4 {
+
+enum class EventKind {
+  kPutOverflow,      // message landed in the overflow list
+  kPut,              // incoming put executed against a priority entry
+  kUnpackComplete,   // final zero-byte DMA signalled handler completion
+  kDmaComplete,      // a (non-suppressed) DMA write completed
+  kAck,              // initiator-side: ack received
+  kSendComplete,     // initiator-side: local send done
+  kDropped,          // no matching entry: packet discarded
+};
+
+struct Event {
+  EventKind kind;
+  std::uint64_t msg_id = 0;
+  std::uint64_t bytes = 0;
+  sim::Time when = 0;
+};
+
+class EventQueue {
+ public:
+  void post(Event ev) {
+    events_.push_back(ev);
+    ++count_;
+    byte_count_ += ev.bytes;
+  }
+
+  /// Counting-event view: number of events and total bytes, readable
+  /// without draining the queue.
+  std::uint64_t count() const { return count_; }
+  std::uint64_t byte_count() const { return byte_count_; }
+
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Drain all events (the application "polls the queue").
+  std::vector<Event> drain() {
+    std::vector<Event> out;
+    out.swap(events_);
+    return out;
+  }
+
+  /// First event of `kind`, or nullptr.
+  const Event* find(EventKind kind) const {
+    for (const Event& ev : events_) {
+      if (ev.kind == kind) return &ev;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::uint64_t count_ = 0;
+  std::uint64_t byte_count_ = 0;
+};
+
+}  // namespace netddt::p4

@@ -1,0 +1,41 @@
+#include "p4/match.hpp"
+
+namespace netddt::p4 {
+
+std::uint64_t MatchList::append(ListKind list, MatchEntry entry) {
+  entry.id = next_id_++;
+  (list == ListKind::kPriority ? priority_ : overflow_)
+      .push_back(std::move(entry));
+  return next_id_ - 1;
+}
+
+std::optional<MatchList::MatchResult> MatchList::search(
+    std::list<MatchEntry>& list, ListKind kind, std::uint64_t bits) {
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->matches(bits)) {
+      MatchResult result{*it, kind};
+      if (it->use_once) list.erase(it);
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MatchList::MatchResult> MatchList::match(std::uint64_t bits) {
+  if (auto hit = search(priority_, ListKind::kPriority, bits)) return hit;
+  return search(overflow_, ListKind::kOverflow, bits);
+}
+
+bool MatchList::unlink(std::uint64_t id) {
+  for (auto* list : {&priority_, &overflow_}) {
+    for (auto it = list->begin(); it != list->end(); ++it) {
+      if (it->id == id) {
+        list->erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace netddt::p4

@@ -1,0 +1,65 @@
+#pragma once
+// Portals 4 matching unit: priority and overflow lists of match list
+// entries (MEs). A header packet searches the priority list first, then
+// the overflow list; an ME matches when
+//   (incoming_bits ^ me.match_bits) & ~me.ignore_bits == 0.
+// A matched ME may unlink from its list but is retained by the NIC until
+// the message's completion packet so the remaining packets of the message
+// match without re-searching (paper Sec 2.1.2).
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+
+namespace netddt::p4 {
+
+struct MatchEntry {
+  std::uint64_t id = 0;           // handle for unlinking
+  std::uint64_t match_bits = 0;
+  std::uint64_t ignore_bits = 0;  // bits to ignore during matching
+  std::int64_t buffer_offset = 0; // destination offset in host memory
+  std::uint64_t length = 0;       // bytes the entry can absorb
+  bool use_once = true;           // unlink when a message matches
+  /// Opaque execution-context pointer (owned by the sPIN layer); nullptr
+  /// means the non-processing (plain RDMA) data path.
+  void* context = nullptr;
+
+  bool matches(std::uint64_t bits) const {
+    return ((bits ^ match_bits) & ~ignore_bits) == 0;
+  }
+};
+
+enum class ListKind { kPriority, kOverflow };
+
+class MatchList {
+ public:
+  /// Append an entry; returns its handle.
+  std::uint64_t append(ListKind list, MatchEntry entry);
+
+  /// Result of a header-packet search.
+  struct MatchResult {
+    MatchEntry entry;   // a copy the NIC retains for the message lifetime
+    ListKind list;
+  };
+
+  /// Search priority then overflow. A matching use_once entry is
+  /// unlinked. Returns nullopt when nothing matches (packet is dropped).
+  std::optional<MatchResult> match(std::uint64_t bits);
+
+  /// Unlink by handle; returns false if the entry was already gone.
+  bool unlink(std::uint64_t id);
+
+  std::size_t priority_size() const { return priority_.size(); }
+  std::size_t overflow_size() const { return overflow_.size(); }
+
+ private:
+  std::optional<MatchResult> search(std::list<MatchEntry>& list,
+                                    ListKind kind, std::uint64_t bits);
+
+  std::list<MatchEntry> priority_;
+  std::list<MatchEntry> overflow_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace netddt::p4

@@ -1,0 +1,40 @@
+#pragma once
+// Network packets as the sPIN NIC model sees them.
+//
+// Following the paper's NIC model (Sec 2.1.2): a message is delivered as
+// a *header* packet first, zero or more *payload* packets, and a
+// *completion* packet last. The network guarantees header-first /
+// completion-last but may reorder payload packets in between.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace netddt::p4 {
+
+/// Packet payload size used throughout the evaluation (paper Sec 5.1:
+/// "we configure the network simulator to send 2 KiB of payload data").
+inline constexpr std::uint32_t kPacketPayload = 2048;
+
+struct Packet {
+  std::uint64_t msg_id = 0;      // message this packet belongs to
+  std::uint64_t match_bits = 0;  // Portals match bits (header carries them;
+                                 // we replicate on every packet for easy
+                                 // bookkeeping)
+  std::uint64_t offset = 0;      // payload offset within the message
+  std::uint32_t payload_bytes = 0;
+  bool first = false;  // header packet
+  bool last = false;   // completion packet
+  /// Packed message bytes for [offset, offset+payload_bytes); may be
+  /// nullptr for a PtlProcessPut packet, where the sender-side handler is
+  /// responsible for fetching the data (paper Sec 3.1.2).
+  const std::byte* data = nullptr;
+};
+
+/// Number of packets a message of `bytes` bytes splits into.
+constexpr std::uint64_t packet_count(std::uint64_t bytes,
+                                     std::uint32_t payload = kPacketPayload) {
+  if (bytes == 0) return 1;  // zero-byte puts still send a header packet
+  return (bytes + payload - 1) / payload;
+}
+
+}  // namespace netddt::p4

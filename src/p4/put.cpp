@@ -1,0 +1,86 @@
+#include "p4/put.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace netddt::p4 {
+
+std::vector<Packet> packetize(std::uint64_t msg_id, std::uint64_t match_bits,
+                              std::span<const std::byte> data,
+                              std::uint32_t payload) {
+  assert(payload > 0);
+  if (data.empty()) return packetize_empty(msg_id, match_bits);
+
+  const std::uint64_t n = packet_count(data.size(), payload);
+  std::vector<Packet> packets;
+  packets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Packet pkt;
+    pkt.msg_id = msg_id;
+    pkt.match_bits = match_bits;
+    pkt.offset = i * payload;
+    pkt.payload_bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(payload, data.size() - pkt.offset));
+    pkt.first = (i == 0);
+    pkt.last = (i == n - 1);
+    pkt.data = data.data() + pkt.offset;
+    packets.push_back(pkt);
+  }
+  return packets;
+}
+
+std::vector<Packet> packetize_empty(std::uint64_t msg_id,
+                                    std::uint64_t match_bits) {
+  Packet pkt;
+  pkt.msg_id = msg_id;
+  pkt.match_bits = match_bits;
+  pkt.first = pkt.last = true;
+  return {pkt};
+}
+
+StreamingPut::StreamingPut(std::uint64_t msg_id, std::uint64_t match_bits,
+                           std::uint64_t total_bytes, std::uint32_t payload)
+    : msg_id_(msg_id),
+      match_bits_(match_bits),
+      total_(total_bytes),
+      payload_(payload) {
+  assert(payload > 0);
+  // Reserve upfront: emitted packets hold pointers into this buffer, so
+  // it must never reallocate.
+  buffer_.resize(total_bytes);
+}
+
+std::vector<Packet> StreamingPut::stream(std::span<const std::byte> chunk,
+                                         bool end_of_message) {
+  assert(!finished_ && "streaming put already completed");
+  assert(staged_ + chunk.size() <= total_ && "chunk overflows the message");
+  if (!chunk.empty()) {
+    std::memcpy(buffer_.data() + staged_, chunk.data(), chunk.size());
+    staged_ += chunk.size();
+  }
+  if (end_of_message) {
+    assert(staged_ == total_ && "end of message before all bytes staged");
+    finished_ = true;
+  }
+
+  std::vector<Packet> out;
+  while (emitted_ < staged_) {
+    const std::uint64_t remaining = staged_ - emitted_;
+    if (remaining < payload_ && !finished_) break;  // wait for more bytes
+
+    Packet pkt;
+    pkt.msg_id = msg_id_;
+    pkt.match_bits = match_bits_;
+    pkt.offset = emitted_;
+    pkt.payload_bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(payload_, remaining));
+    pkt.first = (emitted_ == 0);
+    pkt.last = finished_ && (emitted_ + pkt.payload_bytes == total_);
+    pkt.data = buffer_.data() + emitted_;
+    emitted_ += pkt.payload_bytes;
+    out.push_back(pkt);
+  }
+  return out;
+}
+
+}  // namespace netddt::p4

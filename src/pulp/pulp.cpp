@@ -1,0 +1,105 @@
+#include "pulp/pulp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spin/cost_model.hpp"
+
+namespace netddt::pulp {
+
+double dma_bandwidth_gbps(std::uint64_t block_bytes,
+                          const PulpConfig& config) {
+  // The L2 -> L1 -> PCIe DMA pipeline streams at the 256-bit datapath
+  // rate with a small per-block gap (burst setup, pointer exchange)
+  // equivalent to ~2.7 cycles. Calibrated so 256 B blocks reach the
+  // paper's 192 Gbit/s and large blocks approach the 256 Gbit/s port.
+  constexpr double kPerBlockGapCycles = 2.67;
+  const double port_gbps =
+      config.datapath_bytes * 8.0 * config.freq_ghz;
+  const double transfer_cycles =
+      static_cast<double>(block_bytes) / config.datapath_bytes;
+  return port_gbps * transfer_cycles /
+         (transfer_cycles + kPerBlockGapCycles);
+}
+
+double handler_ipc(std::uint64_t block_bytes, bool dataloops_in_l1) {
+  // Small blocks issue more L2 accesses per instruction (dataloop walks
+  // and DMA descriptors), stalling the cores. Fit to the paper's Fig 11
+  // medians: 0.14 at 32 B rising to 0.26 at 16 KiB. Pinning the
+  // dataloops in L1 (Sec 4.5) removes roughly half of those accesses.
+  double degradation =
+      0.12 * std::pow(32.0 / static_cast<double>(block_bytes), 0.38);
+  if (dataloops_in_l1) degradation *= 0.45;
+  return std::clamp(0.26 - degradation, 0.10, 0.26);
+}
+
+std::uint64_t handler_instructions(double gamma) {
+  // RW-CP payload handler on RV32: ~150 instructions of entry/setup plus
+  // ~40 per contiguous block (segment advance + DMA command).
+  return static_cast<std::uint64_t>(150.0 + std::max(gamma, 1.0) * 40.0);
+}
+
+double pulp_ddt_throughput_gbps(std::uint64_t block_bytes,
+                                const PulpConfig& config,
+                                bool dataloops_in_l1) {
+  constexpr double kPktBytes = 2048.0;
+  const double gamma = std::max(kPktBytes / static_cast<double>(block_bytes),
+                                1.0);
+  const double cycles =
+      static_cast<double>(handler_instructions(gamma)) /
+      handler_ipc(block_bytes, dataloops_in_l1);
+  const double seconds_per_pkt = cycles / (config.freq_ghz * 1e9);
+  const double compute_gbps =
+      config.cores() * kPktBytes * 8.0 / seconds_per_pkt / 1e9;
+  // Packets are preloaded in L2 (paper Sec 4.3.2): the experiment is not
+  // capped by the network, only by L2 bandwidth.
+  return std::min(compute_gbps, config.l2_bandwidth_gbps());
+}
+
+double arm_ddt_throughput_gbps(std::uint64_t block_bytes,
+                               std::uint32_t cores) {
+  const spin::CostModel cost;
+  constexpr double kPktBytes = 2048.0;
+  const double gamma = std::max(kPktBytes / static_cast<double>(block_bytes),
+                                1.0);
+  const sim::Time tph =
+      cost.h_init + cost.h_setup +
+      static_cast<sim::Time>(gamma * static_cast<double>(cost.h_block +
+                                                         cost.h_dma_issue));
+  const double compute_gbps =
+      cores * kPktBytes * 8.0 / sim::to_s(tph) / 1e9;
+  // gem5 SimpleMemory at 50 GiB/s bounds the ARM configuration.
+  const double mem_gbps = 50.0 * 1.073741824 * 8.0;
+  return std::min(compute_gbps, mem_gbps);
+}
+
+AreaBreakdown estimate_area(const PulpConfig& config,
+                            const AreaModel& model) {
+  AreaBreakdown out;
+  const double l1_ge =
+      static_cast<double>(config.l1_bytes_per_cluster) / 1024.0 *
+      model.ge_per_kib_spm;
+  const double cores_ge = config.cores_per_cluster * model.ge_per_core;
+  const double cluster_ge = l1_ge + model.ge_icache_per_cluster + cores_ge +
+                            model.ge_dma_per_cluster;
+  const double l2_ge = static_cast<double>(config.l2_bytes) / 1024.0 *
+                       model.ge_per_kib_spm;
+  const double total_ge =
+      config.clusters * cluster_ge + l2_ge + model.ge_interconnect_top;
+
+  out.total_mge = total_ge / 1e6;
+  out.total_mm2 = total_ge * model.um2_per_ge / model.layout_density / 1e6;
+  out.cluster_mge = cluster_ge / 1e6;
+  out.clusters_share = config.clusters * cluster_ge / total_ge;
+  out.l2_share = l2_ge / total_ge;
+  out.interconnect_share = model.ge_interconnect_top / total_ge;
+  out.l1_share = l1_ge / cluster_ge;
+  out.icache_share = model.ge_icache_per_cluster / cluster_ge;
+  out.cores_share = cores_ge / cluster_ge;
+  out.dma_share = model.ge_dma_per_cluster / cluster_ge;
+  // Power scales with active area relative to the reference design.
+  out.watts = model.watts_full_load * total_ge / 99.8e6;
+  return out;
+}
+
+}  // namespace netddt::pulp

@@ -1,0 +1,109 @@
+#pragma once
+// Model of the PULP-based sPIN accelerator prototype (paper Sec 4).
+//
+// The paper proposes a 4-cluster x 8-core RISC-V (PULP) accelerator at
+// 1 GHz in 22 nm FDSOI with 16 x 64 KiB L1 SPM banks per cluster and
+// 2 x 4 MiB L2 SPM banks, 256-bit interconnects, and evaluates it with
+// cycle-accurate RTL simulation. We model the three published results:
+//
+//  * Fig 9c — DMA bandwidth vs block size: per-burst setup amortizes
+//    over the 32 B/cycle datapath; 192 Gbit/s at 256 B blocks, above
+//    the 200 Gbit/s line rate beyond.
+//  * Fig 10 — RW-CP handler throughput vs block size, PULP (RTL) vs
+//    ARM (gem5): compute-bound at small blocks (per-block instruction
+//    cost divided by an L2-contention-degraded IPC), memory-bandwidth-
+//    bound at large blocks (L2: 2 banks x 256 bit x 1 GHz; the gem5
+//    ARM NIC memory: 50 GiB/s).
+//  * Fig 11 — handler IPC vs block size: small blocks make more L2
+//    accesses per instruction, degrading IPC from 0.26 to 0.14.
+//
+// Plus the Sec 4.4 area/power estimation as a parametric model (GE per
+// KiB of SPM, per core, per DMA/interconnect) that reproduces the
+// published breakdown and supports the re-parameterization discussion
+// (e.g. the 64-core / 18 MiB BlueField-area variant).
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace netddt::pulp {
+
+struct PulpConfig {
+  std::uint32_t clusters = 4;
+  std::uint32_t cores_per_cluster = 8;
+  double freq_ghz = 1.0;
+  std::uint64_t l1_bytes_per_cluster = 1ull << 20;  // 16 x 64 KiB banks
+  std::uint64_t l2_bytes = 8ull << 20;              // 2 x 4 MiB banks
+  std::uint32_t datapath_bytes = 32;                // 256-bit
+  std::uint32_t l2_banks = 2;
+
+  std::uint32_t cores() const { return clusters * cores_per_cluster; }
+  /// Aggregate L2 bandwidth in Gbit/s (both banks, full duplex halves).
+  double l2_bandwidth_gbps() const {
+    return static_cast<double>(l2_banks) * datapath_bytes * 8.0 * freq_ghz;
+  }
+};
+
+/// Fig 9c: effective DMA bandwidth (Gbit/s) for L2 -> L1 -> PCIe block
+/// transfers of `block_bytes`, including per-burst setup cycles.
+double dma_bandwidth_gbps(std::uint64_t block_bytes,
+                          const PulpConfig& config = {});
+
+/// Fig 11: RW-CP handler IPC as a function of the vector block size.
+/// `dataloops_in_l1` models the paper's Sec 4.5 future-work extension:
+/// letting the user pin the datatype description into the cluster's L1
+/// SPM removes most of the contended L2 accesses and recovers IPC at
+/// small block sizes (the benchmark already keeps checkpoints in L1).
+double handler_ipc(std::uint64_t block_bytes, bool dataloops_in_l1 = false);
+
+/// Instructions one RW-CP payload handler executes for a packet holding
+/// `gamma` contiguous blocks (init/setup + per-block loop).
+std::uint64_t handler_instructions(double gamma);
+
+/// Fig 10: aggregate RW-CP DDT-processing throughput (Gbit/s) on PULP
+/// for a vector datatype of `block_bytes` blocks, 2 KiB packets
+/// preloaded in L2 (compute-bound at small blocks, L2-bound at large).
+double pulp_ddt_throughput_gbps(std::uint64_t block_bytes,
+                                const PulpConfig& config = {},
+                                bool dataloops_in_l1 = false);
+
+/// The gem5/ARM comparison line of Fig 10 (32 Cortex A15 @ 800 MHz,
+/// 50 GiB/s NIC memory), computed from the same handler cost model the
+/// receive simulation uses.
+double arm_ddt_throughput_gbps(std::uint64_t block_bytes,
+                               std::uint32_t cores = 32);
+
+// --- Sec 4.4: circuit complexity and power --------------------------------
+
+struct AreaModel {
+  // Gate-equivalents per unit, calibrated to the paper's synthesis
+  // (GlobalFoundries 22FDX, 1 GE = 0.199 um^2).
+  double ge_per_kib_spm = 7500.0;       // SPM macro density
+  double ge_per_core = 66000.0;         // RV32 core
+  double ge_icache_per_cluster = 615000.0;
+  double ge_dma_per_cluster = 263000.0;
+  double ge_interconnect_top = 2000000.0;  // DWCs, buffers, top-level NoC
+  double um2_per_ge = 0.199;
+  double layout_density = 0.85;
+  double watts_full_load = 6.0;
+};
+
+struct AreaBreakdown {
+  double total_mge = 0.0;
+  double total_mm2 = 0.0;
+  double cluster_mge = 0.0;      // one cluster
+  double clusters_share = 0.0;   // all clusters / total
+  double l2_share = 0.0;
+  double interconnect_share = 0.0;
+  // Within one cluster:
+  double l1_share = 0.0;
+  double icache_share = 0.0;
+  double cores_share = 0.0;
+  double dma_share = 0.0;
+  double watts = 0.0;
+};
+
+AreaBreakdown estimate_area(const PulpConfig& config = {},
+                            const AreaModel& model = {});
+
+}  // namespace netddt::pulp

@@ -1,0 +1,88 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic event-driven core: events are (time, sequence,
+// callback) triples ordered by time with FIFO tie-breaking, so two events
+// scheduled for the same instant fire in scheduling order. All NIC, PCIe
+// and host models in this repository are built on this engine.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netddt::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time. Negative delays
+  /// are clamped to zero (events cannot fire in the past).
+  void schedule(Time delay, Callback fn) {
+    if (delay < 0) delay = 0;
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `when` (>= now()).
+  void schedule_at(Time when, Callback fn) {
+    assert(when >= now_ && "cannot schedule an event in the past");
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Run until the event queue drains. Returns the time of the last event.
+  Time run() {
+    while (!queue_.empty()) step();
+    return now_;
+  }
+
+  /// Run until the queue drains or simulated time would pass `deadline`.
+  /// Events at exactly `deadline` still execute.
+  Time run_until(Time deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    if (now_ < deadline && queue_.empty()) now_ = deadline;
+    return now_;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step() {
+    // priority_queue::top() is const; move the callback out via a copy of
+    // the handle before popping so the callback may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace netddt::sim

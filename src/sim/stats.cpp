@@ -1,0 +1,92 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace netddt::sim {
+
+void Summary::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    min_ = max_ = mean_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  // Welford's online update keeps the variance numerically stable.
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double geomean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double s : samples) {
+    assert(s > 0.0 && "geomean requires positive samples");
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+Log2Histogram::Log2Histogram(double lo, std::size_t buckets)
+    : lo_(lo), counts_(buckets, 0) {
+  assert(lo > 0.0 && buckets > 0);
+}
+
+void Log2Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(std::log2(x / lo_));
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double Log2Histogram::bucket_lo(std::size_t i) const {
+  return lo_ * std::pow(2.0, static_cast<double>(i));
+}
+
+std::string Log2Histogram::to_string(const std::string& unit) const {
+  std::ostringstream os;
+  if (underflow_ > 0) os << "  <" << lo_ << unit << ": " << underflow_ << "\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    os << "  [" << bucket_lo(i) << ", " << bucket_lo(i + 1) << ") " << unit
+       << ": " << counts_[i] << "\n";
+  }
+  if (overflow_ > 0) {
+    os << "  >=" << bucket_lo(counts_.size()) << unit << ": " << overflow_
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace netddt::sim

@@ -1,0 +1,56 @@
+#pragma once
+// Statistics helpers shared by benchmarks and tests: running summaries,
+// percentiles, geometric means, and fixed-bucket histograms (used for the
+// Fig 17 memory-traffic histogram).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netddt::sim {
+
+/// Streaming summary of a sample set (count/min/max/mean/variance).
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0.0, max_ = 0.0, mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation, p in [0,100]).
+double percentile(std::vector<double> samples, double p);
+
+/// Geometric mean; all samples must be > 0.
+double geomean(const std::vector<double>& samples);
+
+/// Histogram over log2-spaced buckets, bucket i covering
+/// [lo*2^i, lo*2^(i+1)). Matches the paper's Fig 17 presentation.
+class Log2Histogram {
+ public:
+  Log2Histogram(double lo, std::size_t buckets);
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  /// Render as an ASCII table, values labeled in the given unit.
+  std::string to_string(const std::string& unit) const;
+
+ private:
+  double lo_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace netddt::sim

@@ -1,0 +1,73 @@
+#include "spin/dma.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace netddt::spin {
+
+void DmaEngine::sample() {
+  // Occupancy counts every request issued but not yet landed in host
+  // memory — queued at the engine, in service, or in the PCIe posted-
+  // write window. This matches the paper's Fig 14/15 "DMA write
+  // requests queue" semantics.
+  max_depth_ = std::max(max_depth_, static_cast<std::size_t>(pending_));
+  if (trace_enabled_) {
+    trace_.emplace_back(engine_->now(),
+                        static_cast<std::size_t>(pending_));
+  }
+}
+
+void DmaEngine::write(std::int64_t host_off, std::span<const std::byte> src,
+                      bool signal_event, std::uint64_t msg_id) {
+  write_at(engine_->now(), host_off, src, signal_event, msg_id);
+}
+
+void DmaEngine::write_at(sim::Time when, std::int64_t host_off,
+                         std::span<const std::byte> src, bool signal_event,
+                         std::uint64_t msg_id) {
+  assert(when >= engine_->now());
+  engine_->schedule_at(when, [this, host_off, src, signal_event, msg_id] {
+    ++pending_;
+    queue_.push_back(Request{host_off, src, signal_event, msg_id});
+    sample();
+    if (!busy_) start_next();
+  });
+}
+
+void DmaEngine::start_next() {
+  if (queue_.empty()) return;
+  busy_ = true;
+  const Request req = queue_.front();
+  queue_.pop_front();
+  sample();
+
+  const sim::Time service = cost_->dma_service(req.src.size());
+  // The engine frees up after `service`; the write lands in host memory
+  // one PCIe write latency later (posted writes pipeline).
+  engine_->schedule(service, [this, req] {
+    busy_ = false;
+    sample();
+    engine_->schedule(cost_->pcie_write_latency, [this, req] {
+      if (!req.src.empty()) {
+        assert(req.host_off >= 0 &&
+               static_cast<std::size_t>(req.host_off) + req.src.size() <=
+                   host_.size() &&
+               "DMA write outside host buffer");
+        std::memcpy(host_.data() + req.host_off, req.src.data(),
+                    req.src.size());
+      }
+      ++total_writes_;
+      total_bytes_ += req.src.size();
+      assert(pending_ > 0);
+      --pending_;
+      sample();
+      last_completion_ = engine_->now();
+      if (req.signal_event && on_complete_) {
+        on_complete_(req.msg_id, engine_->now());
+      }
+    });
+    start_next();
+  });
+}
+
+}  // namespace netddt::spin

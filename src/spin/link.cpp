@@ -1,0 +1,67 @@
+#include "spin/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netddt::spin {
+
+sim::Time Link::deliver_in_order(const std::vector<const p4::Packet*>& order,
+                                 const std::vector<sim::Time>& ready,
+                                 sim::Time start) {
+  sim::Time link_free = start;
+  sim::Time last_arrival = start;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const p4::Packet& pkt = *order[i];
+    const sim::Time depart =
+        std::max(link_free, ready.empty() ? start : ready[i]);
+    const sim::Time on_wire = cost_->wire_time(
+        std::max<std::uint64_t>(pkt.payload_bytes, 1));  // header flit
+    link_free = depart + on_wire;
+    const sim::Time arrival = link_free + cost_->net_latency;
+    last_arrival = std::max(last_arrival, arrival);
+    engine_->schedule_at(arrival, [nic = target_, pkt] { nic->deliver(pkt); });
+  }
+  return last_arrival;
+}
+
+sim::Time Link::send(const std::vector<p4::Packet>& packets,
+                     sim::Time start) {
+  std::vector<const p4::Packet*> order;
+  order.reserve(packets.size());
+  for (const auto& p : packets) order.push_back(&p);
+  return deliver_in_order(order, {}, start);
+}
+
+sim::Time Link::send_paced(const std::vector<p4::Packet>& packets,
+                           const std::vector<sim::Time>& ready,
+                           sim::Time start) {
+  assert(ready.size() == packets.size());
+  std::vector<const p4::Packet*> order;
+  order.reserve(packets.size());
+  for (const auto& p : packets) order.push_back(&p);
+  return deliver_in_order(order, ready, start);
+}
+
+sim::Time Link::send_shuffled(const std::vector<p4::Packet>& packets,
+                              sim::Time start, std::uint32_t window,
+                              std::uint64_t seed) {
+  std::vector<const p4::Packet*> order;
+  order.reserve(packets.size());
+  for (const auto& p : packets) order.push_back(&p);
+  if (order.size() > 2 && window > 1) {
+    // Shuffle payload packets (indices 1..n-2) within sliding windows;
+    // the header stays first and the completion stays last.
+    sim::Rng rng(seed);
+    const std::size_t lo = 1, hi = order.size() - 1;
+    for (std::size_t w = lo; w < hi; w += window) {
+      const std::size_t end = std::min<std::size_t>(w + window, hi);
+      for (std::size_t i = end - 1; i > w; --i) {
+        const std::size_t j = w + rng.below(i - w + 1);
+        std::swap(order[i], order[j]);
+      }
+    }
+  }
+  return deliver_in_order(order, {}, start);
+}
+
+}  // namespace netddt::spin

@@ -1,0 +1,56 @@
+#pragma once
+// Network link: serializes a message's packets onto the wire at line
+// rate and delivers them to the target NIC after the network latency.
+//
+// The paper's model guarantees that the header packet arrives first and
+// the completion packet last; payload packets in between may be
+// reordered (send_shuffled) to exercise the out-of-order paths of the
+// offload strategies (segment resets, RW-CP checkpoint rollback).
+
+#include <cstdint>
+#include <vector>
+
+#include "p4/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "spin/cost_model.hpp"
+#include "spin/nic.hpp"
+
+namespace netddt::spin {
+
+class Link {
+ public:
+  Link(sim::Engine& engine, NicModel& target, const CostModel& cost)
+      : engine_(&engine), target_(&target), cost_(&cost) {}
+
+  /// Inject `packets` (wire order) starting at absolute time `start`.
+  /// Packet i departs when the link is free and arrives one network
+  /// latency after its last byte is on the wire. The caller must keep
+  /// the packet data alive until the simulation drains. Returns the
+  /// arrival time of the last packet.
+  sim::Time send(const std::vector<p4::Packet>& packets, sim::Time start);
+
+  /// Same, but packet i additionally waits for `ready[i]` before
+  /// departing (models streaming puts / outbound-sPIN pacing, where the
+  /// sender produces packets as regions are discovered).
+  sim::Time send_paced(const std::vector<p4::Packet>& packets,
+                       const std::vector<sim::Time>& ready,
+                       sim::Time start);
+
+  /// Deliver with payload packets shuffled within a reordering window of
+  /// `window` slots (header stays first, completion stays last).
+  sim::Time send_shuffled(const std::vector<p4::Packet>& packets,
+                          sim::Time start, std::uint32_t window,
+                          std::uint64_t seed);
+
+ private:
+  sim::Time deliver_in_order(const std::vector<const p4::Packet*>& order,
+                             const std::vector<sim::Time>& ready,
+                             sim::Time start);
+
+  sim::Engine* engine_;
+  NicModel* target_;
+  const CostModel* cost_;
+};
+
+}  // namespace netddt::spin

@@ -1,0 +1,124 @@
+#pragma once
+// The sPIN NIC model (paper Fig 1): inbound engine -> matching unit ->
+// HER scheduler -> HPUs -> DMA engine/PCIe, plus the non-processing
+// (plain RDMA) data path for match entries without an execution context.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "p4/event.hpp"
+#include "p4/match.hpp"
+#include "p4/packet.hpp"
+#include "sim/engine.hpp"
+#include "spin/cost_model.hpp"
+#include "spin/dma.hpp"
+#include "spin/handler.hpp"
+#include "spin/nic_memory.hpp"
+#include "spin/scheduler.hpp"
+
+namespace netddt::spin {
+
+/// Receiver host: memory the NIC DMAs into plus the Portals event queue
+/// the application polls.
+class Host {
+ public:
+  explicit Host(std::size_t bytes) : memory_(bytes) {}
+  std::span<std::byte> memory() { return memory_; }
+  std::span<const std::byte> memory() const { return memory_; }
+  p4::EventQueue& events() { return events_; }
+
+ private:
+  std::vector<std::byte> memory_;
+  p4::EventQueue events_;
+};
+
+struct NicConfig {
+  std::uint32_t hpus = 16;
+  std::uint64_t nicmem_bytes = 4ull << 20;  // scratchpad capacity
+};
+
+/// Packet staging buffer: packets copied into NIC memory wait here from
+/// HER creation until their handler finishes (paper Sec 3.2.4's B_pkt).
+/// The model tracks occupancy so the checkpoint-interval heuristic's
+/// third constraint is observable; it does not drop packets.
+struct PacketBufferStats {
+  std::uint64_t occupancy = 0;  // bytes currently staged
+  std::uint64_t peak = 0;
+};
+
+class NicModel {
+ public:
+  NicModel(sim::Engine& engine, Host& host, CostModel cost = {},
+           NicConfig config = {});
+
+  p4::MatchList& match_list() { return match_list_; }
+  NicMemory& memory() { return nic_memory_; }
+  DmaEngine& dma() { return dma_; }
+  Scheduler& scheduler() { return scheduler_; }
+  sim::Engine& engine() { return *engine_; }
+  const CostModel& cost() const { return cost_; }
+  Host& host() { return *host_; }
+
+  /// Register an execution context; the returned pointer goes into
+  /// MatchEntry::context and stays valid for the NIC's lifetime.
+  ExecutionContext* register_context(ExecutionContext ctx);
+
+  /// Deliver one packet at the current simulated time (called by Link).
+  void deliver(const p4::Packet& pkt);
+
+  /// Per-message observation for benchmarks.
+  struct MsgInfo {
+    sim::Time first_byte = -1;    // first packet delivery
+    sim::Time last_packet = -1;   // last packet delivery
+    sim::Time unpack_done = -1;   // final signalled DMA landed
+    std::uint64_t bytes = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t handlers = 0;
+    bool done = false;
+    // Payload-handler phase breakdown (sums over handlers): Fig 12.
+    sim::Time init_time = 0;
+    sim::Time setup_time = 0;
+    sim::Time processing_time = 0;
+  };
+  const MsgInfo* info(std::uint64_t msg_id) const;
+  const PacketBufferStats& packet_buffer() const { return pkt_buffer_; }
+
+ private:
+  struct MsgState {
+    std::uint64_t msg_id = 0;
+    p4::MatchEntry entry;
+    p4::ListKind list = p4::ListKind::kPriority;
+    ExecutionContext* ctx = nullptr;
+    std::uint64_t outstanding = 0;   // payload handlers in flight
+    bool completion_arrived = false;
+    bool completion_dispatched = false;
+    // Header-handler happens-before (paper Sec 3.2.1): payload HERs
+    // arriving before the header handler finished are deferred.
+    bool header_done = false;
+    std::vector<p4::Packet> deferred;
+    MsgInfo info;
+  };
+
+  void deliver_rdma(MsgState& st, const p4::Packet& pkt);
+  void deliver_spin(MsgState& st, const p4::Packet& pkt);
+  void run_handler(MsgState& st, const p4::Packet pkt,
+                   const PacketHandler& handler, bool is_payload);
+  void maybe_dispatch_completion(MsgState& st);
+  void on_final_dma(std::uint64_t msg_id, sim::Time when);
+
+  sim::Engine* engine_;
+  Host* host_;
+  CostModel cost_;
+  p4::MatchList match_list_;
+  NicMemory nic_memory_;
+  DmaEngine dma_;
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<ExecutionContext>> contexts_;
+  std::unordered_map<std::uint64_t, MsgState> msgs_;
+  PacketBufferStats pkt_buffer_;
+};
+
+}  // namespace netddt::spin

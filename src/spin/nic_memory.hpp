@@ -1,0 +1,67 @@
+#pragma once
+// NIC memory capacity accounting.
+//
+// Handler state (dataloops, checkpoints, iovec caches, per-vHPU segments)
+// must fit in the NIC's scratchpad. The simulator keeps that state in
+// ordinary C++ objects; this class models the *capacity* so strategies
+// can fail allocation, fall back, or evict (the MPI facade's LRU victim
+// selection, paper Sec 3.2.6), and so benchmarks can report occupancy
+// (paper Fig 13b/c).
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace netddt::spin {
+
+class NicMemory {
+ public:
+  using Handle = std::uint64_t;
+  static constexpr Handle kInvalid = 0;
+
+  explicit NicMemory(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Reserve `bytes`; returns kInvalid when it does not fit.
+  Handle alloc(std::uint64_t bytes, std::string tag = {}) {
+    if (bytes > capacity_ - used_) return kInvalid;
+    const Handle h = next_++;
+    blocks_.emplace(h, Block{bytes, std::move(tag)});
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+    return h;
+  }
+
+  void free(Handle h) {
+    if (h == kInvalid) return;
+    auto it = blocks_.find(h);
+    assert(it != blocks_.end() && "double free of NIC memory");
+    used_ -= it->second.bytes;
+    blocks_.erase(it);
+  }
+
+  std::uint64_t bytes_of(Handle h) const {
+    auto it = blocks_.find(h);
+    return it == blocks_.end() ? 0 : it->second.bytes;
+  }
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t peak() const { return peak_; }
+  std::uint64_t available() const { return capacity_ - used_; }
+  std::size_t allocations() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::uint64_t bytes;
+    std::string tag;
+  };
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_ = 0;
+  Handle next_ = 1;
+  std::unordered_map<Handle, Block> blocks_;
+};
+
+}  // namespace netddt::spin

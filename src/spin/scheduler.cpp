@@ -1,0 +1,73 @@
+#include "spin/scheduler.hpp"
+
+#include <cassert>
+
+namespace netddt::spin {
+
+void Scheduler::enqueue(std::uint64_t msg_id, const SchedulingPolicy& policy,
+                        std::uint64_t pkt_index, Task task) {
+  if (policy.kind == SchedulingPolicy::Kind::kDefault) {
+    ready_.push_back(Runnable{std::move(task), nullptr});
+    dispatch();
+    return;
+  }
+
+  assert(policy.num_vhpus > 0 && policy.delta_p > 0);
+  auto& list = vhpus_[msg_id];
+  if (list.size() < policy.num_vhpus) list.resize(policy.num_vhpus);
+  const std::uint64_t seq = pkt_index / policy.delta_p;
+  Vhpu& v = list[seq % policy.num_vhpus];
+  v.queue.push_back(std::move(task));
+  if (!v.running && !v.ready_listed) {
+    v.ready_listed = true;
+    ready_.push_back(Runnable{{}, &v});
+  }
+  dispatch();
+}
+
+void Scheduler::dispatch() {
+  while (busy_ < hpus_ && !ready_.empty()) {
+    Runnable r = std::move(ready_.front());
+    ready_.pop_front();
+    if (r.vhpu != nullptr) {
+      Vhpu& v = *r.vhpu;
+      v.ready_listed = false;
+      if (v.queue.empty()) continue;  // raced: packets already drained
+      v.running = true;
+      Task task = std::move(v.queue.front());
+      v.queue.pop_front();
+      ++busy_;
+      // Re-dispatching a yielded vHPU costs a context switch.
+      const sim::Time switch_cost = cost_->vhpu_switch;
+      engine_->schedule(switch_cost,
+                        [this, task = std::move(task), owner = &v]() mutable {
+                          run_task(std::move(task), owner);
+                        });
+    } else {
+      ++busy_;
+      run_task(std::move(r.task), nullptr);
+    }
+  }
+}
+
+void Scheduler::run_task(Task task, Vhpu* owner) {
+  const sim::Time start = engine_->now();
+  const sim::Time runtime = task(start);
+  ++handlers_run_;
+  total_handler_time_ += runtime;
+  engine_->schedule(runtime, [this, owner] {
+    if (owner != nullptr && !owner->queue.empty()) {
+      // The vHPU keeps its HPU while it has pending packets.
+      Task next = std::move(owner->queue.front());
+      owner->queue.pop_front();
+      run_task(std::move(next), owner);
+      return;
+    }
+    if (owner != nullptr) owner->running = false;
+    assert(busy_ > 0);
+    --busy_;
+    dispatch();
+  });
+}
+
+}  // namespace netddt::spin

@@ -1,0 +1,71 @@
+#pragma once
+// HER scheduler: assigns ready handler-execution requests to idle HPUs.
+//
+// Two policies (paper Sec 3.2.1):
+//  - default: ready handlers form one FIFO; any idle HPU takes the head.
+//  - blocked round-robin: packet sequences of delta_p consecutive packets
+//    map to virtual HPUs (seq = pkt_index / delta_p, vHPU = seq mod V).
+//    A vHPU serializes its packets; vHPUs with pending work compete for
+//    physical HPUs. A vHPU keeps its HPU while it has queued packets and
+//    yields otherwise — re-dispatching charges a context-switch cost.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "spin/cost_model.hpp"
+#include "spin/handler.hpp"
+
+namespace netddt::spin {
+
+class Scheduler {
+ public:
+  /// A handler task: runs (functionally) at `start` and returns the
+  /// simulated runtime it charged.
+  using Task = std::function<sim::Time(sim::Time start)>;
+
+  Scheduler(sim::Engine& engine, std::uint32_t hpus, const CostModel& cost)
+      : engine_(&engine), cost_(&cost), hpus_(hpus) {}
+
+  /// Enqueue a handler for packet `pkt_index` of message `msg_id` under
+  /// `policy` at the current simulated time.
+  void enqueue(std::uint64_t msg_id, const SchedulingPolicy& policy,
+               std::uint64_t pkt_index, Task task);
+
+  std::uint32_t hpus() const { return hpus_; }
+  std::uint32_t busy() const { return busy_; }
+  bool idle() const { return busy_ == 0 && ready_.empty(); }
+  std::uint64_t handlers_run() const { return handlers_run_; }
+  sim::Time total_handler_time() const { return total_handler_time_; }
+
+  /// Drop per-message vHPU state once a message completes.
+  void release_message(std::uint64_t msg_id) { vhpus_.erase(msg_id); }
+
+ private:
+  struct Vhpu {
+    std::deque<Task> queue;
+    bool running = false;
+    bool ready_listed = false;  // sitting in the ready queue
+  };
+  struct Runnable {
+    Task task;          // default-policy task, or
+    Vhpu* vhpu = nullptr;  // a vHPU to resume
+  };
+
+  void dispatch();
+  void run_task(Task task, Vhpu* owner);
+
+  sim::Engine* engine_;
+  const CostModel* cost_;
+  std::uint32_t hpus_;
+  std::uint32_t busy_ = 0;
+  std::deque<Runnable> ready_;
+  std::unordered_map<std::uint64_t, std::vector<Vhpu>> vhpus_;
+  std::uint64_t handlers_run_ = 0;
+  sim::Time total_handler_time_ = 0;
+};
+
+}  // namespace netddt::spin

@@ -1,0 +1,113 @@
+// Tests for the application workload generators: shapes must match the
+// paper's constructor families, sizes must grow with the input level,
+// and every workload must unpack correctly under RW-CP and the
+// specialized (region-list) handler.
+
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "offload/runner.hpp"
+
+namespace netddt::apps {
+namespace {
+
+TEST(Workloads, Fig16GridIsComplete) {
+  const auto all = fig16_workloads();
+  // 7 apps x 4 inputs + 6 apps x 3 inputs.
+  EXPECT_EQ(all.size(), 7u * 4 + 6u * 3);
+  for (const auto& w : all) {
+    EXPECT_GT(w.message_bytes(), 0u) << w.app << w.input;
+    EXPECT_GE(w.type->lb(), 0) << w.app << w.input;
+  }
+}
+
+TEST(Workloads, MessageSizesGrowWithInput) {
+  for (auto builder : {lammps, lammps_full, spec_oc, spec_cm, fft2d}) {
+    const auto a = builder('a');
+    const auto d = builder('d');
+    EXPECT_LT(a.message_bytes(), d.message_bytes()) << a.app;
+  }
+}
+
+TEST(Workloads, CombSmallInputsFitOnePacket) {
+  // The paper's no-speedup cases: single-packet messages.
+  EXPECT_LE(comb('a').message_bytes(), 2048u);
+  EXPECT_LE(comb('b').message_bytes(), 2048u);
+  EXPECT_GT(comb('d').message_bytes(), 2048u);
+}
+
+TEST(Workloads, SpecOcIsAllTinyBlocks) {
+  // gamma = 512: every block is one 4 B float.
+  const auto w = spec_oc('a');
+  const auto regions = w.type->flatten(w.count);
+  for (const auto& r : regions) EXPECT_EQ(r.size, 4u);
+  const double gamma = static_cast<double>(regions.size()) /
+                       static_cast<double>(w.message_bytes() / 2048);
+  EXPECT_NEAR(gamma, 512.0, 1.0);
+}
+
+TEST(Workloads, ConstructorFamiliesMatchPaper) {
+  EXPECT_EQ(comb('a').ddt_kind, "subarray");
+  EXPECT_EQ(fft2d('a').ddt_kind, "contiguous(vector)");
+  EXPECT_EQ(lammps('a').ddt_kind, "index");
+  EXPECT_EQ(lammps_full('a').ddt_kind, "index_block");
+  EXPECT_EQ(milc('a').ddt_kind, "vector(vector)");
+  EXPECT_EQ(nas_lu('a').ddt_kind, "vector");
+  EXPECT_EQ(wrf_x('a').ddt_kind, "struct(subarray)");
+}
+
+TEST(Workloads, WrfDirectionsDifferInGamma) {
+  // X-halo: many small columns; Y-halo: fewer contiguous rows.
+  const auto x = wrf_x('b');
+  const auto y = wrf_y('b');
+  const auto gx = x.type->flatten(1).size();
+  const auto gy = y.type->flatten(1).size();
+  EXPECT_GT(gx, gy);
+}
+
+TEST(Workloads, DeterministicAcrossCalls) {
+  const auto a = lammps('b');
+  const auto b = lammps('b');
+  EXPECT_EQ(a.type->flatten(1), b.type->flatten(1));
+}
+
+class WorkloadCorrectness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkloadCorrectness, RwCpUnpacksCorrectly) {
+  const auto all = fig16_workloads();
+  const auto& w = all.at(GetParam());
+  offload::ReceiveConfig cfg;
+  cfg.type = w.type;
+  cfg.count = w.count;
+  cfg.strategy = offload::StrategyKind::kRwCp;
+  const auto run = offload::run_receive(cfg);
+  EXPECT_TRUE(run.result.verified) << w.app << "/" << w.input;
+}
+
+TEST_P(WorkloadCorrectness, SpecializedUnpacksCorrectly) {
+  const auto all = fig16_workloads();
+  const auto& w = all.at(GetParam());
+  offload::ReceiveConfig cfg;
+  cfg.type = w.type;
+  cfg.count = w.count;
+  cfg.strategy = offload::StrategyKind::kSpecialized;
+  const auto run = offload::run_receive(cfg);
+  EXPECT_TRUE(run.result.verified) << w.app << "/" << w.input;
+}
+
+TEST_P(WorkloadCorrectness, IovecUnpacksCorrectly) {
+  const auto all = fig16_workloads();
+  const auto& w = all.at(GetParam());
+  offload::ReceiveConfig cfg;
+  cfg.type = w.type;
+  cfg.count = w.count;
+  cfg.strategy = offload::StrategyKind::kIovec;
+  const auto run = offload::run_receive(cfg);
+  EXPECT_TRUE(run.result.verified) << w.app << "/" << w.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadCorrectness,
+                         ::testing::Range<std::size_t>(0, 46));
+
+}  // namespace
+}  // namespace netddt::apps

@@ -1,0 +1,169 @@
+// Tests for datatype serialization: round trips must preserve the type
+// map exactly; shared subtrees encode once; malformed buffers must be
+// rejected cleanly.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ddt/codec.hpp"
+#include "ddt/datatype.hpp"
+#include "sim/rng.hpp"
+
+namespace netddt::ddt {
+namespace {
+
+void expect_roundtrip(const TypePtr& t) {
+  const auto bytes = encode(t);
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value()) << t->to_string();
+  EXPECT_EQ((*back)->size(), t->size());
+  EXPECT_EQ((*back)->lb(), t->lb());
+  EXPECT_EQ((*back)->ub(), t->ub());
+  EXPECT_EQ((*back)->flatten(3), t->flatten(3));
+  // Re-encoding the decoded tree is byte-identical (canonical form).
+  EXPECT_EQ(encode(*back), bytes);
+}
+
+TEST(Codec, Elementary) { expect_roundtrip(Datatype::float64()); }
+
+TEST(Codec, AllConstructors) {
+  expect_roundtrip(Datatype::contiguous(12, Datatype::int32()));
+  expect_roundtrip(Datatype::vector(8, 2, 5, Datatype::float64()));
+  expect_roundtrip(Datatype::hvector(8, 2, 100, Datatype::int8()));
+  const std::vector<std::int64_t> displs{0, 7, 15};
+  expect_roundtrip(Datatype::indexed_block(2, displs, Datatype::int32()));
+  const std::vector<std::int64_t> blocklens{1, 3, 2};
+  expect_roundtrip(Datatype::indexed(blocklens, displs, Datatype::int32()));
+  const std::vector<TypePtr> types{Datatype::float64(), Datatype::int32()};
+  const std::vector<std::int64_t> sdispls{0, 8};
+  const std::vector<std::int64_t> sblocklens{1, 2};
+  expect_roundtrip(Datatype::struct_type(sblocklens, sdispls, types));
+  expect_roundtrip(Datatype::resized(Datatype::int32(), -4, 16));
+}
+
+TEST(Codec, NestedAndSubarray) {
+  auto inner = Datatype::vector(3, 2, 4, Datatype::float64());
+  expect_roundtrip(Datatype::hvector(4, 1, 512, inner));
+  const std::vector<std::int64_t> sizes{8, 8}, sub{3, 4}, st{1, 2};
+  expect_roundtrip(Datatype::subarray(sizes, sub, st, Datatype::int32()));
+}
+
+TEST(Codec, SharedSubtreeEncodedOnce) {
+  auto shared = Datatype::vector(64, 1, 4, Datatype::float64());
+  const std::vector<std::int64_t> blocklens{1, 1};
+  const std::vector<std::int64_t> displs{0, 4096};
+  const std::vector<TypePtr> types{shared, shared};
+  auto two = Datatype::struct_type(blocklens, displs, types);
+  // A struct over two *distinct* (but identical) subtrees encodes both.
+  auto copy = Datatype::vector(64, 1, 4, Datatype::float64());
+  const std::vector<TypePtr> distinct{shared, copy};
+  auto two_distinct = Datatype::struct_type(blocklens, displs, distinct);
+  EXPECT_LT(encoded_size(two), encoded_size(two_distinct));
+  expect_roundtrip(two);
+}
+
+TEST(Codec, LargeCountIsCheap) {
+  auto small = Datatype::contiguous(2, Datatype::float64());
+  auto huge = Datatype::contiguous(1 << 30, Datatype::float64());
+  EXPECT_EQ(encoded_size(small), encoded_size(huge));
+}
+
+TEST(Codec, RejectsTruncation) {
+  const auto bytes = encode(Datatype::vector(8, 2, 5, Datatype::float64()));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode(std::span(bytes).subspan(0, cut)).has_value())
+        << "accepted a " << cut << "-byte prefix";
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  auto bytes = encode(Datatype::int32());
+  bytes.push_back(std::byte{0});
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsBadMagicAndVersion) {
+  auto bytes = encode(Datatype::int32());
+  auto bad = bytes;
+  bad[0] = std::byte{0xFF};
+  EXPECT_FALSE(decode(bad).has_value());
+  bad = bytes;
+  bad[4] = std::byte{0x7F};  // version
+  EXPECT_FALSE(decode(bad).has_value());
+}
+
+TEST(Codec, RejectsCorruptedKind) {
+  auto bytes = encode(Datatype::int32());
+  // First node byte after the 10-byte header is the kind tag.
+  bytes[10] = std::byte{0x66};
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsForwardChildReference) {
+  // A contiguous node whose child index points at itself.
+  auto bytes = encode(Datatype::contiguous(4, Datatype::int32()));
+  // The child reference is the last 4 bytes of the buffer.
+  for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+    bytes[i] = std::byte{0x7F};
+  }
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+class CodecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzz, RandomBitFlipsNeverCrash) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  auto inner = Datatype::vector(3, 2, 4, Datatype::float64());
+  const std::vector<std::int64_t> displs{0, 100, 200};
+  auto bytes = encode(Datatype::hindexed_block(1, displs, inner));
+  for (int flips = 0; flips < 4; ++flips) {
+    auto corrupt = bytes;
+    const auto at = rng.below(corrupt.size());
+    corrupt[at] ^= static_cast<std::byte>(1u << rng.below(8));
+    // Must either decode to SOME valid type or return nullopt; the
+    // call itself must not crash or hang.
+    const auto result = decode(corrupt);
+    if (result.has_value()) {
+      // Anything accepted must be a self-consistent type.
+      EXPECT_GE((*result)->extent(), 0);
+      EXPECT_GE((*result)->true_ub(), (*result)->true_lb());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(0, 30));
+
+TEST(Codec, RoundTripRandomTrees) {
+  sim::Rng rng(99);
+  for (int iter = 0; iter < 40; ++iter) {
+    // Random 3-deep nests using all constructors.
+    TypePtr t = rng.chance(0.5) ? Datatype::int32() : Datatype::float64();
+    for (int d = 0; d < 3; ++d) {
+      switch (rng.below(4)) {
+        case 0:
+          t = Datatype::contiguous(rng.range(1, 4), t);
+          break;
+        case 1: {
+          const auto bl = rng.range(1, 3);
+          t = Datatype::vector(rng.range(1, 4), bl, rng.range(bl, bl + 3),
+                               t);
+          break;
+        }
+        case 2: {
+          std::vector<std::int64_t> displs{0, rng.range(2, 6),
+                                           rng.range(8, 14)};
+          t = Datatype::indexed_block(1, displs, t);
+          break;
+        }
+        default:
+          t = Datatype::resized(t, t->lb(), t->extent() + rng.range(0, 8));
+          break;
+      }
+    }
+    expect_roundtrip(t);
+  }
+}
+
+}  // namespace
+}  // namespace netddt::ddt

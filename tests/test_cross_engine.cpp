@@ -1,0 +1,150 @@
+// Cross-engine consistency: the repository has four independent ways to
+// enumerate a datatype's regions — reference flatten, the segment
+// walker, the closed-form leaf_window, and the incremental packer. On
+// random types (and their normalized and codec-round-tripped forms)
+// they must all agree byte-for-byte.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dataloop/packer.hpp"
+#include "dataloop/segment.hpp"
+#include "ddt/codec.hpp"
+#include "ddt/normalize.hpp"
+#include "ddt/pack.hpp"
+#include "offload/specialized.hpp"
+#include "sim/rng.hpp"
+
+namespace netddt {
+namespace {
+
+using ddt::Datatype;
+using ddt::Region;
+using ddt::TypePtr;
+
+TypePtr random_type(sim::Rng& rng, int depth) {
+  if (depth == 0) {
+    switch (rng.below(3)) {
+      case 0: return Datatype::int32();
+      case 1: return Datatype::float64();
+      default: return Datatype::int8();
+    }
+  }
+  auto base = random_type(rng, depth - 1);
+  switch (rng.below(6)) {
+    case 0:
+      return Datatype::contiguous(rng.range(1, 4), base);
+    case 1: {
+      const auto bl = rng.range(1, 3);
+      return Datatype::vector(rng.range(1, 5), bl, rng.range(bl, bl + 4),
+                              base);
+    }
+    case 2: {
+      std::vector<std::int64_t> displs;
+      std::int64_t at = 0;
+      for (std::int64_t i = 0, n = rng.range(1, 4); i < n; ++i) {
+        displs.push_back(at);
+        at += rng.range(1, 5);
+      }
+      return Datatype::indexed_block(rng.range(1, 2), displs, base);
+    }
+    case 3: {
+      std::vector<std::int64_t> blocklens, displs;
+      std::int64_t at = 0;
+      for (std::int64_t i = 0, n = rng.range(1, 4); i < n; ++i) {
+        const auto bl = rng.range(1, 3);
+        blocklens.push_back(bl);
+        displs.push_back(at);
+        at += bl + rng.range(0, 3);
+      }
+      return Datatype::indexed(blocklens, displs, base);
+    }
+    case 4:
+      return Datatype::resized(base, base->lb(),
+                               base->extent() + rng.range(0, 8));
+    default: {
+      std::vector<std::int64_t> blocklens{1, rng.range(1, 2)};
+      const std::int64_t gap = base->extent() * 4 + rng.range(0, 16);
+      std::vector<std::int64_t> displs{0, gap};
+      std::vector<TypePtr> types{base, random_type(rng, depth - 1)};
+      return Datatype::struct_type(blocklens, displs, types);
+    }
+  }
+}
+
+/// Collect all regions through the segment walker, in random windows.
+std::vector<Region> via_segment(const dataloop::CompiledDataloop& loops,
+                                sim::Rng& rng) {
+  dataloop::Segment seg(loops);
+  std::vector<Region> out;
+  std::uint64_t at = 0;
+  while (at < loops.total_bytes()) {
+    const std::uint64_t step =
+        std::min<std::uint64_t>(1 + rng.below(73), loops.total_bytes() - at);
+    seg.process(at, at + step, [&](std::int64_t off, std::uint64_t sz) {
+      out.push_back({off, sz});
+    });
+    at += step;
+  }
+  ddt::merge_adjacent(out);
+  return out;
+}
+
+class CrossEngine : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossEngine, AllEnginesAgree) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6007 + 13);
+  auto t = random_type(rng, 3);
+  const std::uint64_t count = 1 + rng.below(3);
+  const auto reference = t->flatten(count);
+  dataloop::CompiledDataloop loops(t, count);
+
+  // 1. Segment walker over random windows.
+  EXPECT_EQ(via_segment(loops, rng), reference);
+
+  // 2. Normalized type: same type map.
+  auto n = ddt::normalize(t);
+  EXPECT_EQ(n->flatten(count), reference);
+
+  // 3. Codec round trip: same type map.
+  const auto decoded = ddt::decode(ddt::encode(t));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ((*decoded)->flatten(count), reference);
+
+  // 4. leaf_window (when the type compiles to a single leaf).
+  if (loops.root().leaf) {
+    std::vector<Region> lw;
+    offload::leaf_window(loops, 0, loops.total_bytes(),
+                [&](std::int64_t off, std::uint64_t sz, std::uint32_t) {
+                  lw.push_back({off, sz});
+                });
+    ddt::merge_adjacent(lw);
+    EXPECT_EQ(lw, reference);
+  }
+
+  // 5. Incremental packer vs reference pack.
+  std::int64_t max_end = 0;
+  for (const auto& r : reference) {
+    max_end = std::max(max_end, r.offset + static_cast<std::int64_t>(r.size));
+  }
+  ASSERT_GE(t->lb(), 0);
+  std::vector<std::byte> src(static_cast<std::size_t>(max_end) + 16);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i * 41 + 3);
+  }
+  dataloop::Packer packer(loops, src);
+  std::vector<std::byte> stream(loops.total_bytes());
+  std::size_t at = 0;
+  while (!packer.done()) {
+    at += packer.pack(std::span(stream).subspan(
+        at, std::min<std::size_t>(1 + rng.below(61), stream.size() - at)));
+  }
+  EXPECT_EQ(stream, ddt::pack_to_vector(src.data(), *t, count));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossEngine, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace netddt

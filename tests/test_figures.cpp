@@ -1,0 +1,142 @@
+// Calibration-anchor regression tests: cheap checks of the published
+// numbers each figure bench reproduces, so a cost-model change that
+// breaks a paper anchor fails the suite rather than silently skewing
+// the benches (the full sweeps live in bench/, see EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "ddt/datatype.hpp"
+#include "offload/host_model.hpp"
+#include "offload/runner.hpp"
+#include "sim/stats.hpp"
+
+namespace netddt::offload {
+namespace {
+
+using ddt::Datatype;
+
+ReceiveConfig vec_cfg(std::int64_t block, std::uint64_t message,
+                      StrategyKind kind) {
+  ReceiveConfig cfg;
+  cfg.type = Datatype::hvector(static_cast<std::int64_t>(message) / block,
+                               block, 2 * block, Datatype::int8());
+  cfg.strategy = kind;
+  cfg.verify = false;
+  return cfg;
+}
+
+TEST(Fig2Anchor, RdmaDecomposition) {
+  const spin::CostModel c;
+  // 266 ns network + 119 ns NIC + ~745 ns PCIe = ~1130 ns.
+  EXPECT_EQ(c.net_latency, sim::ns(266));
+  EXPECT_EQ(c.rdma_nic_per_pkt, sim::ns(119));
+  EXPECT_NEAR(sim::to_ns(c.dma_service(1) + c.pcie_write_latency), 745, 5);
+}
+
+TEST(Fig2Anchor, SpinOverheadNear24Percent) {
+  // The inbound sPIN pipeline adds ~276 ns for a minimal handler:
+  // (copy + dispatch + init + one block + DMA issue) vs plain matching.
+  const spin::CostModel c;
+  const double rdma = 266 + 119 + sim::to_ns(c.dma_service(1)) +
+                      sim::to_ns(c.pcie_write_latency);
+  const double spin_nic =
+      sim::to_ns(c.rdma_nic_per_pkt + c.pkt_copy_fixed + c.her_dispatch +
+                 c.h_init + c.h_block_specialized + c.h_dma_issue);
+  const double spin = 266 + spin_nic + sim::to_ns(c.dma_service(1)) +
+                      sim::to_ns(c.pcie_write_latency);
+  EXPECT_NEAR(spin / rdma, 1.244, 0.02);
+}
+
+TEST(Fig8Anchor, SpecializedLineRateAt64B) {
+  const auto r =
+      run_receive(vec_cfg(64, 4ull << 20, StrategyKind::kSpecialized));
+  EXPECT_GT(r.result.throughput_gbps(), 190.0);
+}
+
+TEST(Fig8Anchor, HostWinsAt4B) {
+  const auto host =
+      run_receive(vec_cfg(4, 256ull << 10, StrategyKind::kHostUnpack));
+  const auto spec =
+      run_receive(vec_cfg(4, 256ull << 10, StrategyKind::kSpecialized));
+  const auto rw = run_receive(vec_cfg(4, 256ull << 10, StrategyKind::kRwCp));
+  EXPECT_LT(host.result.msg_time, spec.result.msg_time);
+  EXPECT_LT(host.result.msg_time, rw.result.msg_time);
+}
+
+TEST(Fig13Anchor, SpecializedLineRateWithTwoHpus) {
+  auto cfg = vec_cfg(2048, 1ull << 20, StrategyKind::kSpecialized);
+  cfg.hpus = 2;
+  EXPECT_GT(run_receive(cfg).result.throughput_gbps(), 190.0);
+}
+
+TEST(Fig14Anchor, DmaQueueStaysUnder160) {
+  for (auto kind : {StrategyKind::kSpecialized, StrategyKind::kRwCp}) {
+    auto cfg = vec_cfg(128, 2ull << 20, kind);  // gamma = 16
+    EXPECT_LT(run_receive(cfg).result.dma_queue_peak, 160u)
+        << strategy_name(kind);
+  }
+}
+
+TEST(Fig16Anchor, SinglePacketMessagesGainNothing) {
+  const auto w = apps::comb('a');
+  ReceiveConfig cfg;
+  cfg.type = w.type;
+  cfg.strategy = StrategyKind::kHostUnpack;
+  const auto host = run_receive(cfg).result;
+  cfg.strategy = StrategyKind::kSpecialized;
+  const auto spec = run_receive(cfg).result;
+  const double speedup = static_cast<double>(host.msg_time) /
+                         static_cast<double>(spec.msg_time);
+  EXPECT_NEAR(speedup, 1.0, 0.25);
+}
+
+TEST(Fig16Anchor, Gamma512IsASlowdown) {
+  const auto w = apps::spec_oc('a');
+  ReceiveConfig cfg;
+  cfg.type = w.type;
+  cfg.verify = false;
+  cfg.strategy = StrategyKind::kHostUnpack;
+  const auto host = run_receive(cfg).result;
+  cfg.strategy = StrategyKind::kRwCp;
+  const auto rw = run_receive(cfg).result;
+  EXPECT_GT(rw.msg_time, host.msg_time);
+}
+
+TEST(Fig17Anchor, GeomeanTrafficRatioNearPaper) {
+  // Subset of the Fig 16 grid for speed: the ratio must stay in the
+  // paper's neighbourhood (3.8x).
+  std::vector<double> ratios;
+  for (const auto& w :
+       {apps::nas_mg('d'), apps::lammps('b'), apps::sw4_x('a'),
+        apps::wrf_y('a'), apps::fft2d('a'), apps::spec_cm('a')}) {
+    ReceiveConfig cfg;
+    cfg.type = w.type;
+    cfg.verify = false;
+    cfg.strategy = StrategyKind::kRwCp;
+    const auto rw = run_receive(cfg).result;
+    cfg.strategy = StrategyKind::kHostUnpack;
+    const auto host = run_receive(cfg).result;
+    ratios.push_back(static_cast<double>(host.host_traffic_bytes) /
+                     static_cast<double>(rw.host_traffic_bytes));
+  }
+  const double gm = sim::geomean(ratios);
+  EXPECT_GT(gm, 2.5);
+  EXPECT_LT(gm, 5.5);
+}
+
+TEST(Fig12Anchor, RwCpWithinThreeXOfSpecialized) {
+  auto rw = run_receive(vec_cfg(128, 2ull << 20, StrategyKind::kRwCp)).result;
+  auto spec =
+      run_receive(vec_cfg(128, 2ull << 20, StrategyKind::kSpecialized))
+          .result;
+  const auto rw_total =
+      rw.handler_init + rw.handler_setup + rw.handler_processing;
+  const auto spec_total =
+      spec.handler_init + spec.handler_setup + spec.handler_processing;
+  EXPECT_LT(rw_total, 3 * spec_total);
+  EXPECT_GT(rw_total, spec_total);
+}
+
+}  // namespace
+}  // namespace netddt::offload

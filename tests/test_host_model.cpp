@@ -1,0 +1,86 @@
+// Tests for the host-CPU unpack cost/traffic model and the
+// checkpoint-setup model.
+
+#include <gtest/gtest.h>
+
+#include "ddt/datatype.hpp"
+#include "offload/host_model.hpp"
+
+namespace netddt::offload {
+namespace {
+
+using ddt::Datatype;
+
+const spin::CostModel kCost;
+
+TEST(HostModel, DenseUnpackIsBandwidthBound) {
+  auto t = Datatype::contiguous(1 << 20, Datatype::int8());
+  const auto est = host_unpack_estimate(*t, 1, kCost);
+  EXPECT_EQ(est.blocks, 1u);
+  // ~ bytes / copy bandwidth.
+  const double expect_ns =
+      static_cast<double>(1 << 20) / (kCost.host_copy_gBps * 1e9) * 1e9;
+  EXPECT_NEAR(sim::to_ns(est.unpack_time), expect_ns, expect_ns * 0.05);
+}
+
+TEST(HostModel, SmallBlocksAreOverheadBound) {
+  auto tiny = Datatype::hvector(1 << 16, 4, 8, Datatype::int8());
+  auto big = Datatype::hvector(16, 16384, 32768, Datatype::int8());
+  // Same total bytes; the tiny-block layout costs far more.
+  ASSERT_EQ(tiny->size(), big->size());
+  const auto et = host_unpack_estimate(*tiny, 1, kCost);
+  const auto eb = host_unpack_estimate(*big, 1, kCost);
+  EXPECT_GT(et.unpack_time, eb.unpack_time);
+  EXPECT_EQ(et.blocks, 1u << 16);
+}
+
+TEST(HostModel, TrafficCountsMessageTwiceAndTouchedLines) {
+  // Dense destination: traffic ~ 3x the message.
+  auto t = Datatype::contiguous(1 << 20, Datatype::int8());
+  const auto est = host_unpack_estimate(*t, 1, kCost);
+  EXPECT_NEAR(static_cast<double>(est.traffic_bytes),
+              3.0 * (1 << 20), 2.0 * kCost.cacheline_bytes);
+}
+
+TEST(HostModel, ScatteredWritesInflateTraffic) {
+  // 4 B blocks spread one per 64 B line: each write fills a full line.
+  auto t = Datatype::hvector(4096, 4, 64, Datatype::int8());
+  const auto est = host_unpack_estimate(*t, 1, kCost);
+  const std::uint64_t msg = t->size();
+  // message + packed read + one line per block.
+  EXPECT_GE(est.traffic_bytes, 2 * msg + 4096ull * 64);
+}
+
+TEST(HostModel, AdjacentBlocksShareLines) {
+  // 4 B blocks at stride 8: eight blocks share each 64 B line.
+  auto dense = Datatype::hvector(4096, 4, 8, Datatype::int8());
+  auto sparse = Datatype::hvector(4096, 4, 64, Datatype::int8());
+  const auto ed = host_unpack_estimate(*dense, 1, kCost);
+  const auto es = host_unpack_estimate(*sparse, 1, kCost);
+  EXPECT_LT(ed.traffic_bytes, es.traffic_bytes);
+}
+
+TEST(HostModel, CountScalesLinearly) {
+  auto t = Datatype::hvector(64, 128, 256, Datatype::int8());
+  const auto one = host_unpack_estimate(*t, 1, kCost);
+  const auto four = host_unpack_estimate(*t, 4, kCost);
+  EXPECT_EQ(four.unpack_time, 4 * one.unpack_time);
+  EXPECT_EQ(four.blocks, 4 * one.blocks);
+}
+
+TEST(HostModel, PackTimeMirrorsUnpack) {
+  auto t = Datatype::hvector(1024, 64, 128, Datatype::int8());
+  EXPECT_EQ(host_pack_time(*t, 2, kCost),
+            host_unpack_estimate(*t, 2, kCost).unpack_time);
+}
+
+TEST(HostModel, CheckpointSetupGrowsWithStateSize) {
+  const auto small = host_checkpoint_setup_time(100, 10 * 612, kCost);
+  const auto large = host_checkpoint_setup_time(100, 1000 * 612, kCost);
+  EXPECT_GT(large, small);
+  const auto more_blocks = host_checkpoint_setup_time(10000, 10 * 612, kCost);
+  EXPECT_GT(more_blocks, small);
+}
+
+}  // namespace
+}  // namespace netddt::offload

@@ -1,0 +1,210 @@
+// Tests for the Portals 4 substrate: matching semantics, packetization,
+// streaming puts, and event queues.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "p4/event.hpp"
+#include "p4/match.hpp"
+#include "p4/packet.hpp"
+#include "p4/put.hpp"
+
+namespace netddt::p4 {
+namespace {
+
+MatchEntry me(std::uint64_t bits, std::uint64_t ignore = 0) {
+  MatchEntry e;
+  e.match_bits = bits;
+  e.ignore_bits = ignore;
+  e.length = 1 << 20;
+  return e;
+}
+
+TEST(Matching, ExactBitsMatch) {
+  MatchList ml;
+  ml.append(ListKind::kPriority, me(0xCAFE));
+  auto hit = ml.match(0xCAFE);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->list, ListKind::kPriority);
+  EXPECT_FALSE(ml.match(0xCAFE).has_value()) << "use_once entry must unlink";
+}
+
+TEST(Matching, MismatchReturnsNothing) {
+  MatchList ml;
+  ml.append(ListKind::kPriority, me(0xCAFE));
+  EXPECT_FALSE(ml.match(0xBEEF).has_value());
+  EXPECT_EQ(ml.priority_size(), 1u);
+}
+
+TEST(Matching, IgnoreBitsMaskCompare) {
+  MatchList ml;
+  ml.append(ListKind::kPriority, me(0xAB00, 0x00FF));
+  EXPECT_TRUE(ml.match(0xAB42).has_value());
+}
+
+TEST(Matching, PrioritySearchedBeforeOverflow) {
+  MatchList ml;
+  MatchEntry pri = me(7);
+  pri.buffer_offset = 111;
+  MatchEntry ovf = me(7);
+  ovf.buffer_offset = 222;
+  ml.append(ListKind::kOverflow, ovf);
+  ml.append(ListKind::kPriority, pri);
+  auto hit = ml.match(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->entry.buffer_offset, 111);
+  EXPECT_EQ(hit->list, ListKind::kPriority);
+}
+
+TEST(Matching, OverflowUsedAsFallback) {
+  MatchList ml;
+  ml.append(ListKind::kOverflow, me(7));
+  auto hit = ml.match(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->list, ListKind::kOverflow);
+}
+
+TEST(Matching, FifoOrderWithinList) {
+  MatchList ml;
+  MatchEntry a = me(9), b = me(9);
+  a.buffer_offset = 1;
+  b.buffer_offset = 2;
+  ml.append(ListKind::kPriority, a);
+  ml.append(ListKind::kPriority, b);
+  EXPECT_EQ(ml.match(9)->entry.buffer_offset, 1);
+  EXPECT_EQ(ml.match(9)->entry.buffer_offset, 2);
+}
+
+TEST(Matching, PersistentEntryMatchesRepeatedly) {
+  MatchList ml;
+  MatchEntry e = me(5);
+  e.use_once = false;
+  ml.append(ListKind::kPriority, e);
+  EXPECT_TRUE(ml.match(5).has_value());
+  EXPECT_TRUE(ml.match(5).has_value());
+  EXPECT_EQ(ml.priority_size(), 1u);
+}
+
+TEST(Matching, UnlinkByHandle) {
+  MatchList ml;
+  const auto id = ml.append(ListKind::kPriority, me(3));
+  EXPECT_TRUE(ml.unlink(id));
+  EXPECT_FALSE(ml.unlink(id));
+  EXPECT_FALSE(ml.match(3).has_value());
+}
+
+TEST(Packetize, SplitsAtPayloadBoundary) {
+  std::vector<std::byte> data(5000);
+  auto pkts = packetize(1, 0xAA, data, 2048);
+  ASSERT_EQ(pkts.size(), 3u);
+  EXPECT_TRUE(pkts[0].first);
+  EXPECT_FALSE(pkts[0].last);
+  EXPECT_EQ(pkts[0].payload_bytes, 2048u);
+  EXPECT_EQ(pkts[1].offset, 2048u);
+  EXPECT_TRUE(pkts[2].last);
+  EXPECT_EQ(pkts[2].payload_bytes, 5000u - 4096u);
+  const std::uint64_t total = std::accumulate(
+      pkts.begin(), pkts.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const Packet& p) { return acc + p.payload_bytes; });
+  EXPECT_EQ(total, data.size());
+}
+
+TEST(Packetize, SinglePacketMessageIsHeaderAndCompletion) {
+  std::vector<std::byte> data(100);
+  auto pkts = packetize(1, 0, data);
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_TRUE(pkts[0].first);
+  EXPECT_TRUE(pkts[0].last);
+}
+
+TEST(Packetize, EmptyPutStillSendsHeader) {
+  auto pkts = packetize(1, 0, {});
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_EQ(pkts[0].payload_bytes, 0u);
+  EXPECT_TRUE(pkts[0].first && pkts[0].last);
+}
+
+TEST(StreamingPut, EmitsPacketsAsChunksAccumulate) {
+  // 3000 B message, chunks of 1000 B, 2048 B packets: the first packet
+  // can only be cut after the third chunk... no — after 2048 B staged,
+  // i.e. during the third chunk's append.
+  StreamingPut sp(1, 0, 3000);
+  std::vector<std::byte> chunk(1000);
+  EXPECT_TRUE(sp.stream(chunk, false).empty());
+  EXPECT_TRUE(sp.stream(chunk, false).empty());
+  auto pkts = sp.stream(chunk, true);
+  ASSERT_EQ(pkts.size(), 2u);
+  EXPECT_TRUE(pkts[0].first);
+  EXPECT_EQ(pkts[0].payload_bytes, 2048u);
+  EXPECT_TRUE(pkts[1].last);
+  EXPECT_EQ(pkts[1].payload_bytes, 952u);
+  EXPECT_TRUE(sp.complete());
+}
+
+TEST(StreamingPut, DataIsConcatenatedAcrossCalls) {
+  StreamingPut sp(1, 0, 4096);
+  std::vector<std::byte> a(3000), b(1096);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::byte{0xAA};
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = std::byte{0xBB};
+  auto p1 = sp.stream(a, false);
+  ASSERT_EQ(p1.size(), 1u);
+  auto p2 = sp.stream(b, true);
+  ASSERT_EQ(p2.size(), 1u);
+  // Second packet spans the chunk boundary: 952 B of a then 1096 B of b.
+  EXPECT_EQ(p2[0].data[0], std::byte{0xAA});
+  EXPECT_EQ(p2[0].data[952], std::byte{0xBB});
+  EXPECT_EQ(p2[0].payload_bytes, 2048u);
+}
+
+TEST(StreamingPut, SinglePacketMessage) {
+  StreamingPut sp(7, 3, 512);
+  std::vector<std::byte> chunk(512);
+  auto pkts = sp.stream(chunk, true);
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_TRUE(pkts[0].first && pkts[0].last);
+}
+
+TEST(StreamingPut, TargetSeesOneMessage) {
+  // All packets carry the same msg_id: transparent to the target.
+  StreamingPut sp(42, 9, 8192);
+  std::vector<std::byte> chunk(8192);
+  auto pkts = sp.stream(chunk, true);
+  ASSERT_EQ(pkts.size(), 4u);
+  for (const auto& p : pkts) {
+    EXPECT_EQ(p.msg_id, 42u);
+    EXPECT_EQ(p.match_bits, 9u);
+  }
+  EXPECT_TRUE(pkts.front().first);
+  EXPECT_TRUE(pkts.back().last);
+  for (std::size_t i = 1; i + 1 < pkts.size(); ++i) {
+    EXPECT_FALSE(pkts[i].first || pkts[i].last);
+  }
+}
+
+TEST(Events, CountingEventsAccumulate) {
+  EventQueue eq;
+  eq.post(Event{EventKind::kPut, 1, 100, 0});
+  eq.post(Event{EventKind::kUnpackComplete, 2, 50, 10});
+  EXPECT_EQ(eq.count(), 2u);
+  EXPECT_EQ(eq.byte_count(), 150u);
+  ASSERT_NE(eq.find(EventKind::kUnpackComplete), nullptr);
+  EXPECT_EQ(eq.find(EventKind::kUnpackComplete)->msg_id, 2u);
+  auto drained = eq.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(eq.events().empty());
+  EXPECT_EQ(eq.count(), 2u) << "counting events survive draining";
+}
+
+TEST(PacketCount, RoundsUp) {
+  EXPECT_EQ(packet_count(0), 1u);
+  EXPECT_EQ(packet_count(1), 1u);
+  EXPECT_EQ(packet_count(2048), 1u);
+  EXPECT_EQ(packet_count(2049), 2u);
+  EXPECT_EQ(packet_count(4096), 2u);
+}
+
+}  // namespace
+}  // namespace netddt::p4

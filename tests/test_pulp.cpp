@@ -1,0 +1,116 @@
+// Tests for the PULP accelerator model: the published anchors of
+// Fig 9c / 10 / 11 and the Sec 4.4 area/power breakdown must hold.
+
+#include <gtest/gtest.h>
+
+#include "pulp/pulp.hpp"
+
+namespace netddt::pulp {
+namespace {
+
+TEST(DmaBandwidth, Anchor256BReaches192Gbps) {
+  // Paper Fig 9c: "a throughput of 192 Gbit/s can be reached for blocks
+  // of 256 B, and all higher block sizes are above the line rate".
+  EXPECT_NEAR(dma_bandwidth_gbps(256), 192.0, 4.0);
+  for (std::uint64_t b = 512; b <= (128u << 10); b *= 2) {
+    EXPECT_GT(dma_bandwidth_gbps(b), 200.0) << b;
+  }
+}
+
+TEST(DmaBandwidth, MonotonicInBlockSize) {
+  double prev = 0.0;
+  for (std::uint64_t b = 64; b <= (128u << 10); b *= 2) {
+    const double bw = dma_bandwidth_gbps(b);
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+  EXPECT_LE(prev, PulpConfig{}.datapath_bytes * 8.0 + 1e-9);
+}
+
+TEST(Ipc, MatchesPaperEndpoints) {
+  // Fig 11 medians: 0.14 at 32 B, ~0.26 at 16 KiB.
+  EXPECT_NEAR(handler_ipc(32), 0.14, 0.01);
+  EXPECT_NEAR(handler_ipc(16384), 0.26, 0.02);
+  EXPECT_NEAR(handler_ipc(256), 0.19, 0.03);
+}
+
+TEST(Ipc, RisesWithBlockSize) {
+  double prev = 0.0;
+  for (std::uint64_t b = 32; b <= 16384; b *= 2) {
+    const double ipc = handler_ipc(b);
+    EXPECT_GE(ipc, prev) << b;
+    prev = ipc;
+  }
+}
+
+TEST(Throughput, PulpSlowerThanArmForSmallBlocks) {
+  // Paper Sec 4.3.2: "The PULP-based implementation is slower than the
+  // ARM-based one for small block sizes (< 256 B)".
+  for (std::uint64_t b : {32, 64, 128}) {
+    EXPECT_LT(pulp_ddt_throughput_gbps(b), arm_ddt_throughput_gbps(b)) << b;
+  }
+}
+
+TEST(Throughput, PulpReachesLineRateFrom256B) {
+  for (std::uint64_t b = 256; b <= 16384; b *= 2) {
+    EXPECT_GE(pulp_ddt_throughput_gbps(b), 195.0) << b;
+  }
+}
+
+TEST(Throughput, PulpExceedsLineRateWhenNotNetworkCapped) {
+  // Packets are preloaded in L2, so large blocks go past 200 Gbit/s,
+  // capped by the L2 bandwidth (512 Gbit/s).
+  EXPECT_GT(pulp_ddt_throughput_gbps(16384), 400.0);
+  EXPECT_LE(pulp_ddt_throughput_gbps(16384),
+            PulpConfig{}.l2_bandwidth_gbps() + 1e-9);
+}
+
+TEST(Throughput, ArmCappedByNicMemoryBandwidth) {
+  // 50 GiB/s NIC memory = ~430 Gbit/s ceiling.
+  EXPECT_NEAR(arm_ddt_throughput_gbps(16384), 429.5, 1.0);
+}
+
+TEST(Area, ReproducesPaperTotals) {
+  const auto a = estimate_area();
+  // Sec 4.4: ~100 MGE, ~23.5 mm^2 at 85 % layout density.
+  EXPECT_NEAR(a.total_mge, 100.0, 3.0);
+  EXPECT_NEAR(a.total_mm2, 23.5, 0.8);
+  EXPECT_NEAR(a.watts, 6.0, 0.3);
+}
+
+TEST(Area, BreakdownSharesMatchPaper) {
+  const auto a = estimate_area();
+  // Clusters ~39 %, L2 ~59 %, interconnect ~2 %.
+  EXPECT_NEAR(a.clusters_share, 0.39, 0.04);
+  EXPECT_NEAR(a.l2_share, 0.59, 0.04);
+  EXPECT_NEAR(a.interconnect_share, 0.02, 0.01);
+  // Within a cluster: L1 84 %, I$ 7 %, cores 6 %, DMA 3 %.
+  EXPECT_NEAR(a.l1_share, 0.84, 0.02);
+  EXPECT_NEAR(a.icache_share, 0.07, 0.02);
+  EXPECT_NEAR(a.cores_share, 0.06, 0.02);
+  EXPECT_NEAR(a.dma_share, 0.03, 0.02);
+}
+
+TEST(Area, BlueFieldVariantDoublesResources) {
+  // Sec 4.4: "with a similar area budget as on the BlueField SoC, we
+  // could double the amount of clusters and memory to 64 RISC-V cores
+  // and 18 MiB" — ~51 mm^2 budget.
+  PulpConfig big;
+  big.clusters = 8;
+  big.l2_bytes = 10ull << 20;  // 18 MiB total with 8 x 1 MiB L1
+  const auto a = estimate_area(big);
+  EXPECT_GT(a.total_mm2, estimate_area().total_mm2);
+  EXPECT_LT(a.total_mm2, 51.0) << "must fit the BlueField compute budget";
+  EXPECT_EQ(big.cores(), 64u);
+}
+
+TEST(Area, ScalesWithMemory) {
+  PulpConfig half;
+  half.l2_bytes = 4ull << 20;
+  const auto small = estimate_area(half);
+  const auto ref = estimate_area();
+  EXPECT_LT(small.total_mge, ref.total_mge);
+}
+
+}  // namespace
+}  // namespace netddt::pulp

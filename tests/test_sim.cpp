@@ -1,0 +1,157 @@
+// Tests for the discrete-event engine, RNG determinism, and statistics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace netddt::sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(ns(1), 1000);
+  EXPECT_EQ(us(1), 1'000'000);
+  EXPECT_EQ(from_ns(81.92), 81920);
+  EXPECT_DOUBLE_EQ(to_ns(81920), 81.92);
+}
+
+TEST(Time, TransferTimeAtLineRate) {
+  // 2 KiB at 200 Gbit/s = 81.92 ns.
+  EXPECT_EQ(transfer_time(2048, 200.0), 81920);
+  EXPECT_EQ(transfer_time(0, 200.0), 0);
+  EXPECT_GE(transfer_time(1, 1e9), 1);  // never zero for non-empty data
+}
+
+TEST(Time, ThroughputInverseOfTransferTime) {
+  const Time t = transfer_time(1 << 20, 100.0);
+  EXPECT_NEAR(throughput_gbps(1 << 20, t), 100.0, 0.01);
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(ns(30), [&] { order.push_back(3); });
+  eng.schedule(ns(10), [&] { order.push_back(1); });
+  eng.schedule(ns(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), ns(30));
+}
+
+TEST(Engine, FifoTieBreakAtSameTime) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule(ns(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleEvents) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(ns(1), [&] {
+    ++fired;
+    eng.schedule(ns(1), [&] {
+      ++fired;
+      eng.schedule(ns(1), [&] { ++fired; });
+    });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(eng.now(), ns(3));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(ns(10), [&] { ++fired; });
+  eng.schedule(ns(20), [&] { ++fired; });
+  eng.run_until(ns(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.pending(), 1u);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine eng;
+  Time seen = -1;
+  eng.schedule(ns(5), [&] {
+    eng.schedule(-ns(3), [&] { seen = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, ns(5));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng r(7);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 4000; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo |= (v == -2);
+    hit_hi |= (v == 2);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Stats, SummaryMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+}
+
+TEST(Stats, GeomeanMatchesHandComputation) {
+  EXPECT_NEAR(geomean({1.0, 8.0}), 2.828427, 1e-5);
+  EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+}
+
+TEST(Stats, Log2HistogramBuckets) {
+  Log2Histogram h(1.0, 4);  // [1,2) [2,4) [4,8) [8,16)
+  for (double x : {1.0, 1.5, 2.0, 5.0, 9.0, 100.0, 0.5}) h.add(x);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 4.0);
+}
+
+}  // namespace
+}  // namespace netddt::sim

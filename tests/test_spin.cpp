@@ -1,0 +1,373 @@
+// Tests for the sPIN NIC model: DMA engine timing and data movement, the
+// HER scheduler (default and blocked-RR), NIC memory accounting, and the
+// end-to-end receive paths (RDMA and handler-processed).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "p4/put.hpp"
+#include "sim/engine.hpp"
+#include "spin/link.hpp"
+#include "spin/nic.hpp"
+
+namespace netddt::spin {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i * 7 + 1);
+  return v;
+}
+
+TEST(NicMemory, AllocFreeAccounting) {
+  NicMemory mem(1000);
+  const auto a = mem.alloc(400, "a");
+  ASSERT_NE(a, NicMemory::kInvalid);
+  EXPECT_EQ(mem.used(), 400u);
+  const auto b = mem.alloc(600, "b");
+  ASSERT_NE(b, NicMemory::kInvalid);
+  EXPECT_EQ(mem.available(), 0u);
+  EXPECT_EQ(mem.alloc(1, "c"), NicMemory::kInvalid);
+  mem.free(a);
+  EXPECT_EQ(mem.used(), 600u);
+  EXPECT_EQ(mem.peak(), 1000u);
+  EXPECT_NE(mem.alloc(300, "d"), NicMemory::kInvalid);
+}
+
+TEST(Dma, WritesLandInHostMemory) {
+  sim::Engine eng;
+  CostModel cost;
+  std::vector<std::byte> host(4096, std::byte{0});
+  DmaEngine dma(eng, cost, host);
+  const auto src = pattern(256);
+  dma.write(100, src, false, 1);
+  eng.run();
+  EXPECT_TRUE(dma.drained());
+  EXPECT_EQ(std::memcmp(host.data() + 100, src.data(), 256), 0);
+  EXPECT_EQ(dma.total_writes(), 1u);
+  EXPECT_EQ(dma.total_bytes(), 256u);
+}
+
+TEST(Dma, CompletionAfterServiceAndLatency) {
+  sim::Engine eng;
+  CostModel cost;
+  std::vector<std::byte> host(64);
+  DmaEngine dma(eng, cost, host);
+  sim::Time done = -1;
+  dma.set_completion_callback(
+      [&](std::uint64_t, sim::Time when) { done = when; });
+  const auto src = pattern(1);
+  dma.write(0, src, true, 7);
+  eng.run();
+  // 1 B: request service + PCIe transfer + write latency.
+  const sim::Time expect =
+      cost.dma_service(1) + cost.pcie_write_latency;
+  EXPECT_EQ(done, expect);
+}
+
+TEST(Dma, QueueDepthTracksBacklog) {
+  sim::Engine eng;
+  CostModel cost;
+  std::vector<std::byte> host(1 << 16);
+  DmaEngine dma(eng, cost, host);
+  dma.enable_trace(true);
+  const auto src = pattern(4096);
+  // Enqueue 10 requests at t=0: they serialize through the engine.
+  for (int i = 0; i < 10; ++i) {
+    dma.write(i * 4096, std::span(src).subspan(0, 4096), false, 1);
+  }
+  eng.run();
+  EXPECT_EQ(dma.max_queue_depth(), 10u);
+  EXPECT_EQ(dma.total_writes(), 10u);
+  EXPECT_FALSE(dma.depth_trace().empty());
+}
+
+TEST(Dma, ServiceRateMatchesPcieBandwidth) {
+  sim::Engine eng;
+  CostModel cost;
+  std::vector<std::byte> host(1 << 20);
+  DmaEngine dma(eng, cost, host);
+  const auto src = pattern(1 << 16);
+  const int n = 16;
+  for (int i = 0; i < n; ++i) dma.write(0, src, false, 1);
+  const sim::Time end = eng.run();
+  const sim::Time min_expected =
+      n * (cost.dma_req_service + cost.pcie_transfer(1 << 16));
+  EXPECT_GE(end, min_expected);
+}
+
+TEST(Scheduler, DefaultPolicyUsesAllHpus) {
+  sim::Engine eng;
+  CostModel cost;
+  Scheduler sched(eng, 4, cost);
+  std::vector<sim::Time> starts;
+  for (int i = 0; i < 8; ++i) {
+    sched.enqueue(1, SchedulingPolicy::Default(), static_cast<unsigned>(i),
+                  [&starts](sim::Time t) {
+                    starts.push_back(t);
+                    return sim::ns(100);
+                  });
+  }
+  eng.run();
+  ASSERT_EQ(starts.size(), 8u);
+  // First 4 run immediately; next 4 at +100ns.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(starts[static_cast<size_t>(i)], 0);
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(starts[static_cast<size_t>(i)], sim::ns(100));
+  }
+}
+
+TEST(Scheduler, BlockedRRSerializesSequences) {
+  sim::Engine eng;
+  CostModel cost;
+  Scheduler sched(eng, 8, cost);
+  // 2 vHPUs, delta_p = 2: packets {0,1} -> vHPU0, {2,3} -> vHPU1,
+  // {4,5} -> vHPU0 again.
+  std::vector<std::pair<std::uint64_t, sim::Time>> runs;
+  const auto policy = SchedulingPolicy::BlockedRR(2, 2);
+  for (std::uint64_t p = 0; p < 6; ++p) {
+    sched.enqueue(1, policy, p, [&runs, p](sim::Time t) {
+      runs.emplace_back(p, t);
+      return sim::ns(100);
+    });
+  }
+  eng.run();
+  ASSERT_EQ(runs.size(), 6u);
+  // Packets of the same vHPU never overlap in time.
+  auto overlap = [&](std::uint64_t a, std::uint64_t b) {
+    sim::Time sa = -1, sb = -1;
+    for (auto& [pkt, t] : runs) {
+      if (pkt == a) sa = t;
+      if (pkt == b) sb = t;
+    }
+    return sa != -1 && sb != -1 && sa < sb + sim::ns(100) &&
+           sb < sa + sim::ns(100);
+  };
+  EXPECT_FALSE(overlap(0, 1));  // same vHPU, serialized
+  EXPECT_FALSE(overlap(2, 3));
+  EXPECT_TRUE(overlap(0, 2));  // different vHPUs run concurrently
+}
+
+TEST(Scheduler, BlockedRRLimitedByPhysicalHpus) {
+  sim::Engine eng;
+  CostModel cost;
+  Scheduler sched(eng, 1, cost);  // one physical HPU
+  const auto policy = SchedulingPolicy::BlockedRR(4, 1);
+  std::vector<sim::Time> starts;
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    sched.enqueue(1, policy, p, [&starts](sim::Time t) {
+      starts.push_back(t);
+      return sim::ns(50);
+    });
+  }
+  eng.run();
+  ASSERT_EQ(starts.size(), 4u);
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GE(starts[i], starts[i - 1] + sim::ns(50))
+        << "one HPU cannot run two handlers at once";
+  }
+}
+
+class NicFixture : public ::testing::Test {
+ protected:
+  NicFixture()
+      : host(1 << 20), nic(eng, host, CostModel{}, NicConfig{4, 1 << 20}),
+        link(eng, nic, nic.cost()) {}
+
+  sim::Engine eng;
+  Host host;
+  NicModel nic;
+  Link link;
+};
+
+TEST_F(NicFixture, RdmaPathDeliversContiguously) {
+  p4::MatchEntry me;
+  me.match_bits = 5;
+  me.buffer_offset = 1000;
+  me.length = 1 << 16;
+  nic.match_list().append(p4::ListKind::kPriority, me);
+
+  const auto data = pattern(5000);
+  auto pkts = p4::packetize(1, 5, data);
+  link.send(pkts, 0);
+  eng.run();
+
+  EXPECT_EQ(std::memcmp(host.memory().data() + 1000, data.data(), 5000), 0);
+  const auto* ev = host.events().find(p4::EventKind::kPut);
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->bytes, 5000u);
+  const auto* info = nic.info(1);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->done);
+  EXPECT_GT(info->unpack_done, info->first_byte);
+}
+
+TEST_F(NicFixture, UnmatchedMessageIsDropped) {
+  const auto data = pattern(100);
+  auto pkts = p4::packetize(1, 99, data);
+  link.send(pkts, 0);
+  eng.run();
+  EXPECT_NE(host.events().find(p4::EventKind::kDropped), nullptr);
+  EXPECT_EQ(nic.dma().total_writes(), 0u);
+}
+
+TEST_F(NicFixture, OverflowListFallback) {
+  p4::MatchEntry me;
+  me.match_bits = 5;
+  me.buffer_offset = 0;
+  nic.match_list().append(p4::ListKind::kOverflow, me);
+  const auto data = pattern(64);
+  link.send(p4::packetize(1, 5, data), 0);
+  eng.run();
+  EXPECT_NE(host.events().find(p4::EventKind::kPutOverflow), nullptr);
+}
+
+TEST_F(NicFixture, HandlerPathScattersViaDma) {
+  // A toy sPIN handler: write each 64 B chunk of the packet to
+  // buffer_offset + 2 * stream_offset (a "double-spaced" scatter).
+  ExecutionContext ctx;
+  ctx.payload = [this](HandlerArgs& args) {
+    args.meter.charge(Phase::kInit, nic.cost().h_init);
+    const auto* data = args.pkt.data;
+    for (std::uint32_t at = 0; at < args.pkt.payload_bytes; at += 64) {
+      const auto len =
+          std::min<std::uint32_t>(64, args.pkt.payload_bytes - at);
+      args.meter.charge(Phase::kProcessing, nic.cost().h_block);
+      args.meter.charge(Phase::kProcessing, nic.cost().h_dma_issue);
+      args.dma.write(args.meter.total(),
+                     args.buffer_offset +
+                         2 * static_cast<std::int64_t>(args.pkt.offset + at),
+                     {data + at, len});
+    }
+  };
+  ctx.completion = [this](HandlerArgs& args) {
+    args.meter.charge(Phase::kProcessing, nic.cost().h_complete);
+    args.dma.write(args.meter.total(), 0, {}, /*signal_event=*/true);
+  };
+
+  p4::MatchEntry me;
+  me.match_bits = 9;
+  me.buffer_offset = 0;
+  me.context = nic.register_context(std::move(ctx));
+  nic.match_list().append(p4::ListKind::kPriority, me);
+
+  const auto data = pattern(4096);  // 2 packets
+  link.send(p4::packetize(3, 9, data), 0);
+  eng.run();
+
+  // Every 64 B chunk at stream offset s lands at host offset 2 s.
+  for (std::size_t s = 0; s < 4096; s += 64) {
+    EXPECT_EQ(std::memcmp(host.memory().data() + 2 * s, data.data() + s, 64),
+              0)
+        << "chunk at " << s;
+  }
+  const auto* ev = host.events().find(p4::EventKind::kUnpackComplete);
+  ASSERT_NE(ev, nullptr);
+  const auto* info = nic.info(3);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->done);
+  EXPECT_EQ(info->handlers, 2u);
+  EXPECT_GT(info->processing_time, 0);
+}
+
+TEST_F(NicFixture, CompletionHandlerRunsAfterAllPayloads) {
+  std::vector<std::string> order;
+  ExecutionContext ctx;
+  ctx.payload = [&order](HandlerArgs& args) {
+    args.meter.charge(Phase::kProcessing, sim::us(10));  // slow handler
+    order.push_back("payload");
+  };
+  ctx.completion = [&order](HandlerArgs& args) {
+    order.push_back("completion");
+    args.dma.write(0, 0, {}, true);
+  };
+  p4::MatchEntry me;
+  me.match_bits = 1;
+  me.context = nic.register_context(std::move(ctx));
+  nic.match_list().append(p4::ListKind::kPriority, me);
+
+  const auto data = pattern(8192);  // 4 packets, handlers overlap
+  link.send(p4::packetize(4, 1, data), 0);
+  eng.run();
+
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), "completion");
+}
+
+TEST_F(NicFixture, HeaderHandlerRunsBeforeAnyPayloadHandler) {
+  // A slow header handler must gate every payload handler (paper
+  // Sec 3.2.1 happens-before), even with idle HPUs available.
+  std::vector<sim::Time> payload_starts;
+  ExecutionContext ctx;
+  ctx.header = [&](HandlerArgs& args) {
+    args.meter.charge(Phase::kInit, sim::us(50));  // slow header
+  };
+  ctx.payload = [&](HandlerArgs& args) {
+    // The first packet's payload part shares the header's task; only
+    // the deferred packets observe the gate as a later start time.
+    if (!args.pkt.first) payload_starts.push_back(eng.now());
+    args.meter.charge(Phase::kProcessing, sim::ns(100));
+  };
+  ctx.completion = [](HandlerArgs& args) { args.dma.write(0, 0, {}, true); };
+  p4::MatchEntry me;
+  me.match_bits = 3;
+  me.context = nic.register_context(std::move(ctx));
+  nic.match_list().append(p4::ListKind::kPriority, me);
+
+  const auto data = pattern(2048 * 6);
+  link.send(p4::packetize(7, 3, data), 0);
+  eng.run();
+
+  ASSERT_EQ(payload_starts.size(), 5u);
+  for (std::size_t i = 0; i < payload_starts.size(); ++i) {
+    EXPECT_GE(payload_starts[i], sim::us(50))
+        << "payload " << i << " ran before the header handler finished";
+  }
+  EXPECT_TRUE(nic.info(7)->done);
+}
+
+TEST_F(NicFixture, ShuffledDeliveryKeepsHeaderFirstCompletionLast) {
+  std::vector<std::uint64_t> arrival_offsets;
+  ExecutionContext ctx;
+  ctx.payload = [&arrival_offsets](HandlerArgs& args) {
+    arrival_offsets.push_back(args.pkt.offset);
+    args.meter.charge(Phase::kProcessing, sim::ns(10));
+  };
+  ctx.completion = [](HandlerArgs& args) { args.dma.write(0, 0, {}, true); };
+  p4::MatchEntry me;
+  me.match_bits = 2;
+  me.context = nic.register_context(std::move(ctx));
+  nic.match_list().append(p4::ListKind::kPriority, me);
+
+  const auto data = pattern(2048 * 8);
+  link.send_shuffled(p4::packetize(5, 2, data), 0, 4, /*seed=*/99);
+  eng.run();
+
+  ASSERT_EQ(arrival_offsets.size(), 8u);
+  EXPECT_EQ(arrival_offsets.front(), 0u) << "header stays first";
+  EXPECT_EQ(arrival_offsets.back(), 7u * 2048) << "completion stays last";
+  EXPECT_FALSE(std::is_sorted(arrival_offsets.begin(),
+                              arrival_offsets.end()))
+      << "payload packets should arrive out of order";
+  EXPECT_TRUE(nic.info(5)->done);
+}
+
+TEST_F(NicFixture, LatencyMatchesCostModelForRdma) {
+  // Fig 2 anchor: a tiny put takes net_latency + wire + NIC + PCIe.
+  p4::MatchEntry me;
+  me.match_bits = 4;
+  nic.match_list().append(p4::ListKind::kPriority, me);
+  const auto data = pattern(1);
+  link.send(p4::packetize(9, 4, data), 0);
+  eng.run();
+  const CostModel& c = nic.cost();
+  const sim::Time expected = c.wire_time(1) + c.net_latency +
+                             c.rdma_nic_per_pkt + c.dma_service(1) +
+                             c.pcie_write_latency;
+  EXPECT_EQ(nic.info(9)->unpack_done, expected);
+}
+
+}  // namespace
+}  // namespace netddt::spin
