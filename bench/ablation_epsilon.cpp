@@ -5,39 +5,47 @@
 // short sequences (more checkpoints, more NIC memory) while large
 // epsilon tolerates serialization to save memory.
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "ddt/datatype.hpp"
 #include "offload/runner.hpp"
 
 using namespace netddt;
 
-int main() {
-  bench::title("Ablation", "RW-CP epsilon sweep (4 MiB vector, 128 B blocks)");
+NETDDT_EXPERIMENT(ablation_epsilon,
+                  "RW-CP epsilon sweep (4 MiB vector, 128 B blocks)") {
   constexpr std::uint64_t kMessage = 4ull << 20;
-  constexpr std::int64_t kBlock = 128;
+  const std::int64_t kBlock =
+      static_cast<std::int64_t>(params.blocks_or(128));
 
-  std::printf("%-8s %12s %12s %12s %14s %12s\n", "eps", "interval",
-              "checkpoints", "NICmem(KiB)", "msgtime(us)", "pktbuf(KiB)");
-  for (double eps : {0.05, 0.1, 0.2, 0.5, 1.0, 2.0}) {
+  std::vector<double> sweep = {0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
+  if (params.smoke) sweep = {0.1, 1.0};
+  if (params.epsilon) sweep = {*params.epsilon};
+
+  auto& t = report.table("epsilon sweep",
+                         {"eps", "interval", "checkpoints", "NICmem(KiB)",
+                          "msgtime(us)", "pktbuf(KiB)"});
+  for (double eps : sweep) {
     offload::ReceiveConfig cfg;
     cfg.type = ddt::Datatype::hvector(
         static_cast<std::int64_t>(kMessage) / kBlock, kBlock, 2 * kBlock,
         ddt::Datatype::int8());
     cfg.strategy = offload::StrategyKind::kRwCp;
+    cfg.hpus = params.hpus_or(16);
     cfg.epsilon = eps;
     cfg.verify = false;
-    const auto r = offload::run_receive(cfg).result;
-    std::printf("%-8.2f %12llu %12llu %12.1f %14.1f %12.1f\n", eps,
-                static_cast<unsigned long long>(r.checkpoint_interval),
-                static_cast<unsigned long long>(r.checkpoints),
-                static_cast<double>(r.nic_descriptor_bytes) / 1024.0,
-                sim::to_us(r.msg_time),
-                static_cast<double>(r.pkt_buffer_peak) / 1024.0);
+    const auto run = offload::run_receive(cfg);
+    report.counters(run.metrics);
+    const auto& r = run.result;
+    t.row({bench::cell(eps, 2), bench::cell(r.checkpoint_interval),
+           bench::cell(r.checkpoints),
+           bench::cell(static_cast<double>(r.nic_descriptor_bytes) / 1024.0,
+                       1),
+           bench::cell(sim::to_us(r.msg_time), 1),
+           bench::cell(static_cast<double>(r.pkt_buffer_peak) / 1024.0, 1)});
   }
-  bench::note("smaller epsilon -> shorter sequences -> more checkpoints "
+  report.note("smaller epsilon -> shorter sequences -> more checkpoints "
               "and NIC memory, less serialization; the default 0.2 keeps "
               "the overhead under 20% of processing time");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

@@ -4,26 +4,25 @@
 // into the cluster L1 SPM removes contended L2 accesses, recovering IPC
 // and throughput exactly where Fig 10 showed PULP losing to ARM.
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "pulp/pulp.hpp"
 
 using namespace netddt;
 
-int main() {
-  bench::title("Ablation (Sec 4.5)",
-               "PULP dataloops in L2 vs pinned in L1 SPM");
-  std::printf("%-10s %8s %8s %14s %14s\n", "block", "IPC-L2", "IPC-L1",
-              "tput-L2", "tput-L1");
+NETDDT_EXPERIMENT(ablation_l1_placement,
+                  "PULP dataloops in L2 vs pinned in L1 SPM") {
+  auto& t = report.table("ipc and throughput",
+                         {"block", "IPC-L2", "IPC-L1", "tput-L2(Gb/s)",
+                          "tput-L1(Gb/s)"});
   for (std::uint64_t b = 32; b <= 16384; b *= 2) {
-    std::printf("%-10s %8.2f %8.2f %10.1fGb/s %10.1fGb/s\n",
-                bench::human_bytes(b).c_str(), pulp::handler_ipc(b, false),
-                pulp::handler_ipc(b, true),
-                pulp::pulp_ddt_throughput_gbps(b, {}, false),
-                pulp::pulp_ddt_throughput_gbps(b, {}, true));
+    t.row({bench::cell_bytes(static_cast<double>(b)),
+           bench::cell(pulp::handler_ipc(b, false), 2),
+           bench::cell(pulp::handler_ipc(b, true), 2),
+           bench::cell(pulp::pulp_ddt_throughput_gbps(b, {}, false), 1),
+           bench::cell(pulp::pulp_ddt_throughput_gbps(b, {}, true), 1)});
   }
-  bench::note("L1 placement recovers most of the small-block IPC loss; "
+  report.note("L1 placement recovers most of the small-block IPC loss; "
               "large blocks stay L2-bandwidth-bound either way");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

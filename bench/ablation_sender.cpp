@@ -5,31 +5,34 @@
 // discovery with transmission; outbound sPIN removes the sender CPU
 // from the data plane entirely.
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "ddt/datatype.hpp"
 #include "offload/sender.hpp"
 
 using namespace netddt;
 using offload::SendStrategy;
 
-int main() {
-  bench::title("Ablation (Fig 4)", "sender-side strategies, 2 MiB vector");
+NETDDT_EXPERIMENT(ablation_sender,
+                  "sender-side strategies, 2 MiB vector (Fig 4)") {
   constexpr std::uint64_t kMessage = 2ull << 20;
   const SendStrategy kinds[] = {SendStrategy::kPackSend,
                                 SendStrategy::kStreamingPut,
                                 SendStrategy::kOutboundSpin};
 
-  std::printf("%-10s", "block");
-  for (auto s : kinds) {
-    std::printf(" %15s %12s", std::string(offload::send_strategy_name(s)).c_str(),
-                "cpu-busy");
-  }
-  std::printf("\n");
+  std::vector<std::int64_t> blocks = {64, 256, 1024, 4096, 16384};
+  if (params.smoke) blocks = {256, 4096};
+  if (params.blocks) blocks = {static_cast<std::int64_t>(*params.blocks)};
 
-  for (std::int64_t block : {64, 256, 1024, 4096, 16384}) {
-    std::printf("%-10s", bench::human_bytes(block).c_str());
+  std::vector<std::string> columns = {"block"};
+  for (auto s : kinds) {
+    columns.emplace_back(offload::send_strategy_name(s));
+    columns.emplace_back("cpu-busy(us)");
+  }
+  auto& t = report.table("send throughput", columns).unit("Gbit/s");
+
+  for (std::int64_t block : blocks) {
+    std::vector<bench::Cell> row = {
+        bench::cell_bytes(static_cast<double>(block))};
     for (auto s : kinds) {
       offload::SendConfig cfg;
       cfg.type = ddt::Datatype::hvector(
@@ -38,12 +41,13 @@ int main() {
       cfg.strategy = s;
       cfg.verify = false;
       const auto r = offload::run_send(cfg);
-      std::printf(" %10.1fGb/s %10.1fus", r.throughput_gbps(),
-                  sim::to_us(r.cpu_busy_time));
+      row.push_back(bench::cell(r.throughput_gbps(), 1));
+      row.push_back(bench::cell(sim::to_us(r.cpu_busy_time), 1));
     }
-    std::printf("\n");
+    t.row(std::move(row));
   }
-  bench::note("pack+send serializes CPU packing before the wire; streaming "
+  report.note("pack+send serializes CPU packing before the wire; streaming "
               "puts overlap; outbound sPIN needs only the control-plane op");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

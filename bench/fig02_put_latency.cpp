@@ -3,9 +3,7 @@
 // for the sPIN path (packet copy to NIC memory, handler scheduling, and
 // the handler issuing the DMA write).
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "p4/put.hpp"
 #include "sim/engine.hpp"
 #include "spin/link.hpp"
@@ -17,10 +15,10 @@ namespace {
 
 /// Simulate a 1-byte put and return the time the byte lands in host
 /// memory (first signalled DMA completion).
-sim::Time put_latency(bool use_spin) {
+sim::Time put_latency(bool use_spin, const spin::CostModel& cost) {
   sim::Engine eng;
   spin::Host host(4096);
-  spin::NicModel nic(eng, host, spin::CostModel{});
+  spin::NicModel nic(eng, host, cost);
   spin::Link link(eng, nic, nic.cost());
 
   p4::MatchEntry me;
@@ -49,12 +47,12 @@ sim::Time put_latency(bool use_spin) {
 
 }  // namespace
 
-int main() {
-  const spin::CostModel c;
-  bench::title("Fig 2", "latency of a one-byte put operation");
+NETDDT_EXPERIMENT(fig02, "latency of a one-byte put operation") {
+  spin::CostModel c;
+  c.line_rate_gbps = params.line_rate_or(c.line_rate_gbps);
 
-  const sim::Time rdma = put_latency(false);
-  const sim::Time spin_t = put_latency(true);
+  const sim::Time rdma = put_latency(false, c);
+  const sim::Time spin_t = put_latency(true, c);
   const double overhead =
       100.0 * (static_cast<double>(spin_t) / static_cast<double>(rdma) - 1.0);
 
@@ -63,13 +61,16 @@ int main() {
   const double pcie = sim::to_ns(c.dma_service(1) + c.pcie_write_latency);
   const double nic_spin = sim::to_ns(spin_t) - net - pcie;
 
-  std::printf("%-6s %10s %10s %10s %12s\n", "path", "network", "NIC",
-              "PCIe", "total(us)");
-  std::printf("%-6s %8.0fns %8.0fns %8.0fns %12.3f\n", "RDMA", net,
-              nic_rdma, pcie, sim::to_us(rdma));
-  std::printf("%-6s %8.0fns %8.0fns %8.0fns %12.3f  (+%.1f%%)\n", "sPIN",
-              net, nic_spin, pcie, sim::to_us(spin_t), overhead);
-  bench::note("paper: RDMA 266/119/745 ns; sPIN adds packet copy, HER "
+  auto& t = report.table(
+      "put latency breakdown",
+      {"path", "network(ns)", "NIC(ns)", "PCIe(ns)", "total(us)"});
+  t.row({bench::cell("RDMA"), bench::cell(net, 0), bench::cell(nic_rdma, 0),
+         bench::cell(pcie, 0), bench::cell(sim::to_us(rdma), 3)});
+  t.row({bench::cell("sPIN"), bench::cell(net, 0), bench::cell(nic_spin, 0),
+         bench::cell(pcie, 0), bench::cell(sim::to_us(spin_t), 3),
+         bench::cell(overhead, 1, "%")});
+  report.note("paper: RDMA 266/119/745 ns; sPIN adds packet copy, HER "
               "dispatch and handler execution on the NIC: +24.4%");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

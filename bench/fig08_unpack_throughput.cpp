@@ -8,44 +8,51 @@
 // shrinks with block size; all offloaded variants drop below the
 // host-based unpack at 4 B blocks.
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "ddt/datatype.hpp"
 #include "offload/runner.hpp"
 
 using namespace netddt;
 using offload::StrategyKind;
 
-int main() {
-  bench::title("Fig 8",
-               "unpack throughput vs block size (4 MiB vector message)");
-
+NETDDT_EXPERIMENT(fig08,
+                  "unpack throughput vs block size (4 MiB vector message)") {
   constexpr std::uint64_t kMessage = 4ull << 20;
   const StrategyKind kinds[] = {
       StrategyKind::kSpecialized, StrategyKind::kRwCp, StrategyKind::kRoCp,
       StrategyKind::kHpuLocal, StrategyKind::kHostUnpack};
 
-  std::printf("%-10s", "block");
-  for (auto k : kinds) std::printf(" %14s", std::string(strategy_name(k)).c_str());
-  std::printf("   (Gbit/s)\n");
+  const std::uint32_t hpus = params.hpus_or(16);
+  const std::uint64_t seed = params.seed_or(1);
 
-  for (std::int64_t block : {4, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
-                             8192, 16384}) {
-    std::printf("%-10s", bench::human_bytes(block).c_str());
+  std::vector<std::int64_t> blocks = {4,   16,   32,   64,   128,  256,
+                                      512, 1024, 2048, 4096, 8192, 16384};
+  if (params.smoke) blocks = {128, 2048};
+  if (params.blocks) blocks = {static_cast<std::int64_t>(*params.blocks)};
+
+  std::vector<std::string> columns = {"block"};
+  for (auto k : kinds) columns.emplace_back(strategy_name(k));
+  auto& t = report.table("throughput", columns).unit("Gbit/s");
+
+  for (std::int64_t block : blocks) {
+    std::vector<bench::Cell> row = {bench::cell_bytes(
+        static_cast<double>(block))};
     for (auto kind : kinds) {
       offload::ReceiveConfig cfg;
       cfg.type = ddt::Datatype::hvector(
           static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
           ddt::Datatype::int8());
       cfg.strategy = kind;
-      cfg.hpus = 16;
+      cfg.hpus = hpus;
+      cfg.seed = seed;
       cfg.verify = false;  // correctness covered by the test suite
       const auto run = offload::run_receive(cfg);
-      std::printf(" %14.1f", run.result.throughput_gbps());
+      row.push_back(bench::cell(run.result.throughput_gbps(), 1));
+      report.counters(run.metrics);
     }
-    std::printf("\n");
+    t.row(std::move(row));
   }
-  bench::note("paper: specialized at line rate from 64 B; host wins at 4 B");
-  return 0;
+  report.note("paper: specialized at line rate from 64 B; host wins at 4 B");
 }
+
+NETDDT_BENCH_MAIN()

@@ -2,21 +2,21 @@
 // function of block size. Paper: 192 Gbit/s at 256 B blocks; every
 // larger block size is above the 200 Gbit/s line rate.
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "pulp/pulp.hpp"
 
 using namespace netddt;
 
-int main() {
-  bench::title("Fig 9c", "PULP DMA bandwidth vs block size");
-  std::printf("%-10s %14s %10s\n", "block", "bandwidth", "vs line");
+NETDDT_EXPERIMENT(fig09, "PULP DMA bandwidth vs block size") {
+  const double line = params.line_rate_or(200.0);
+  auto& t = report.table("dma bandwidth",
+                         {"block", "bandwidth(Gb/s)", "vs line"});
   for (std::uint64_t b = 256; b <= (128ull << 10); b *= 2) {
     const double bw = pulp::dma_bandwidth_gbps(b);
-    std::printf("%-10s %10.1fGb/s %9s\n", bench::human_bytes(b).c_str(), bw,
-                bw >= 200.0 ? "above" : "below");
+    t.row({bench::cell_bytes(static_cast<double>(b)), bench::cell(bw, 1),
+           bench::cell(bw >= line ? "above" : "below")});
   }
-  bench::note("paper: 192 Gbit/s at 256 B; above line rate beyond");
-  return 0;
+  report.note("paper: 192 Gbit/s at 256 B; above line rate beyond");
 }
+
+NETDDT_BENCH_MAIN()

@@ -4,24 +4,24 @@
 // contention degrades IPC), reaches line rate at 256 B, and exceeds it
 // beyond (the experiment is not network-capped).
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "pulp/pulp.hpp"
 
 using namespace netddt;
 
-int main() {
-  bench::title("Fig 10", "DDT processing throughput: PULP (RTL) vs ARM (gem5)");
-  std::printf("%-10s %14s %14s %8s\n", "block", "PULP", "ARM", "winner");
+NETDDT_EXPERIMENT(fig10,
+                  "DDT processing throughput: PULP (RTL) vs ARM (gem5)") {
+  auto& t = report.table(
+      "throughput", {"block", "PULP(Gb/s)", "ARM(Gb/s)", "winner"});
   for (std::uint64_t b = 32; b <= 16384; b *= 2) {
     const double pulp_t = pulp::pulp_ddt_throughput_gbps(b);
     const double arm_t = pulp::arm_ddt_throughput_gbps(b);
-    std::printf("%-10s %10.1fGb/s %10.1fGb/s %8s\n",
-                bench::human_bytes(b).c_str(), pulp_t, arm_t,
-                pulp_t >= arm_t ? "PULP" : "ARM");
+    t.row({bench::cell_bytes(static_cast<double>(b)),
+           bench::cell(pulp_t, 1), bench::cell(arm_t, 1),
+           bench::cell(pulp_t >= arm_t ? "PULP" : "ARM")});
   }
-  bench::note("paper: PULP slower < 256 B (L2 contention), line rate from "
+  report.note("paper: PULP slower < 256 B (L2 contention), line rate from "
               "256 B, both exceed line rate at large blocks");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

@@ -2,23 +2,20 @@
 // function of the block size. Paper medians rise from 0.14 (32 B) to
 // 0.26 (16 KiB): small blocks make more L2 accesses per instruction.
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "pulp/pulp.hpp"
 
 using namespace netddt;
 
-int main() {
-  bench::title("Fig 11", "RW-CP handler IPC on PULP vs block size");
-  std::printf("%-10s %8s %14s\n", "block", "IPC", "instructions");
+NETDDT_EXPERIMENT(fig11, "RW-CP handler IPC on PULP vs block size") {
+  auto& t = report.table("handler ipc", {"block", "IPC", "instructions"});
   for (std::uint64_t b = 32; b <= 16384; b *= 2) {
     const double gamma = b >= 2048 ? 1.0 : 2048.0 / static_cast<double>(b);
-    std::printf("%-10s %8.2f %14llu\n", bench::human_bytes(b).c_str(),
-                pulp::handler_ipc(b),
-                static_cast<unsigned long long>(
-                    pulp::handler_instructions(gamma)));
+    t.row({bench::cell_bytes(static_cast<double>(b)),
+           bench::cell(pulp::handler_ipc(b), 2),
+           bench::cell(pulp::handler_instructions(gamma))});
   }
-  bench::note("paper medians: 0.14 at 32 B rising to 0.26 at 16 KiB");
-  return 0;
+  report.note("paper medians: 0.14 at 32 B rising to 0.26 at 16 KiB");
 }
+
+NETDDT_BENCH_MAIN()

@@ -7,9 +7,7 @@
 // faster processing shrinks the checkpoint interval); HPU-local's
 // occupancy grows with the HPU count (one segment replica per vHPU).
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "ddt/datatype.hpp"
 #include "offload/runner.hpp"
 
@@ -23,8 +21,8 @@ constexpr offload::StrategyKind kKinds[] = {
     StrategyKind::kSpecialized, StrategyKind::kRwCp, StrategyKind::kRoCp,
     StrategyKind::kHpuLocal};
 
-offload::ReceiveResult run(StrategyKind kind, std::int64_t block,
-                           std::uint32_t hpus) {
+offload::ReceiveRun run(StrategyKind kind, std::int64_t block,
+                        std::uint32_t hpus) {
   offload::ReceiveConfig cfg;
   cfg.type = ddt::Datatype::hvector(
       static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
@@ -32,53 +30,75 @@ offload::ReceiveResult run(StrategyKind kind, std::int64_t block,
   cfg.strategy = kind;
   cfg.hpus = hpus;
   cfg.verify = false;
-  return offload::run_receive(cfg).result;
+  return offload::run_receive(cfg);
+}
+
+std::vector<std::string> with_lead(const char* lead) {
+  std::vector<std::string> columns = {lead};
+  for (auto k : kKinds) columns.emplace_back(strategy_name(k));
+  return columns;
 }
 
 }  // namespace
 
-int main() {
-  bench::title("Fig 13a", "receive throughput (Gbit/s) vs #HPUs, 2 KiB blocks");
-  std::printf("%-6s", "HPUs");
-  for (auto k : kKinds) std::printf(" %14s", std::string(strategy_name(k)).c_str());
-  std::printf("\n");
-  for (std::uint32_t hpus : {2u, 4u, 8u, 16u, 32u}) {
-    std::printf("%-6u", hpus);
-    for (auto k : kKinds) {
-      std::printf(" %14.1f", run(k, 2048, hpus).throughput_gbps());
-    }
-    std::printf("\n");
+NETDDT_EXPERIMENT(fig13, "receive throughput and NIC memory scalability") {
+  const std::uint32_t base_hpus = params.hpus_or(16);
+  const std::int64_t base_block =
+      static_cast<std::int64_t>(params.blocks_or(2048));
+
+  std::vector<std::uint32_t> hpu_sweep = {2, 4, 8, 16, 32};
+  std::vector<std::int64_t> block_sweep = {4, 32, 128, 512, 2048, 8192};
+  std::vector<std::uint32_t> hpu_mem_sweep = {4, 8, 16, 32};
+  if (params.smoke) {
+    hpu_sweep = {2, 16};
+    block_sweep = {128, 2048};
+    hpu_mem_sweep = {4, 16};
   }
 
-  bench::title("Fig 13b", "NIC memory occupancy vs block size (16 HPUs)");
-  std::printf("%-10s", "block");
-  for (auto k : kKinds) std::printf(" %14s", std::string(strategy_name(k)).c_str());
-  std::printf("   (KiB)\n");
-  for (std::int64_t block : {4, 32, 128, 512, 2048, 8192}) {
-    std::printf("%-10s", bench::human_bytes(block).c_str());
+  auto& a = report.table("fig13a: throughput vs #HPUs", with_lead("HPUs"))
+                .unit("Gbit/s, 2 KiB blocks");
+  for (std::uint32_t hpus : hpu_sweep) {
+    std::vector<bench::Cell> row = {bench::cell(hpus)};
     for (auto k : kKinds) {
-      std::printf(" %14.2f",
-                  static_cast<double>(run(k, block, 16).nic_descriptor_bytes) /
-                      1024.0);
+      const auto r = run(k, base_block, hpus);
+      report.counters(r.metrics);
+      row.push_back(bench::cell(r.result.throughput_gbps(), 1));
     }
-    std::printf("\n");
+    a.row(std::move(row));
   }
 
-  bench::title("Fig 13c", "NIC memory occupancy vs #HPUs (2 KiB blocks)");
-  std::printf("%-6s", "HPUs");
-  for (auto k : kKinds) std::printf(" %14s", std::string(strategy_name(k)).c_str());
-  std::printf("   (KiB)\n");
-  for (std::uint32_t hpus : {4u, 8u, 16u, 32u}) {
-    std::printf("%-6u", hpus);
+  auto& b = report.table("fig13b: NIC memory vs block size",
+                         with_lead("block"))
+                .unit("KiB, 16 HPUs");
+  for (std::int64_t block : block_sweep) {
+    std::vector<bench::Cell> row = {
+        bench::cell_bytes(static_cast<double>(block))};
     for (auto k : kKinds) {
-      std::printf(" %14.2f",
-                  static_cast<double>(run(k, 2048, hpus).nic_descriptor_bytes) /
-                      1024.0);
+      row.push_back(bench::cell(
+          static_cast<double>(
+              run(k, block, base_hpus).result.nic_descriptor_bytes) /
+              1024.0,
+          2));
     }
-    std::printf("\n");
+    b.row(std::move(row));
   }
-  bench::note("paper: specialized at line rate with 2 HPUs; checkpointed "
+
+  auto& c = report.table("fig13c: NIC memory vs #HPUs", with_lead("HPUs"))
+                .unit("KiB, 2 KiB blocks");
+  for (std::uint32_t hpus : hpu_mem_sweep) {
+    std::vector<bench::Cell> row = {bench::cell(hpus)};
+    for (auto k : kKinds) {
+      row.push_back(bench::cell(
+          static_cast<double>(
+              run(k, base_block, hpus).result.nic_descriptor_bytes) /
+              1024.0,
+          2));
+    }
+    c.row(std::move(row));
+  }
+  report.note("paper: specialized at line rate with 2 HPUs; checkpointed "
               "variants' memory grows with block size and HPU count; "
               "HPU-local replicates one segment per vHPU");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

@@ -3,28 +3,30 @@
 // number of DMA writes. Paper: the PCIe request buffer stays under 160
 // requests — PCIe is not the bottleneck.
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "ddt/datatype.hpp"
 #include "offload/runner.hpp"
 
 using namespace netddt;
 using offload::StrategyKind;
 
-int main() {
-  bench::title("Fig 14", "max DMA queue occupancy vs regions/packet");
+NETDDT_EXPERIMENT(fig14, "max DMA queue occupancy vs regions/packet") {
   constexpr std::uint64_t kMessage = 4ull << 20;
   const StrategyKind kinds[] = {StrategyKind::kSpecialized,
                                 StrategyKind::kRwCp, StrategyKind::kRoCp,
                                 StrategyKind::kHpuLocal};
+  const std::uint32_t hpus = params.hpus_or(16);
+  std::vector<int> gammas = {1, 2, 4, 8, 16};
+  if (params.smoke) gammas = {1, 16};
 
-  std::printf("%-8s", "gamma");
-  for (auto k : kinds) std::printf(" %14s", std::string(strategy_name(k)).c_str());
-  std::printf(" %14s\n", "total writes");
-  for (int gamma : {1, 2, 4, 8, 16}) {
+  std::vector<std::string> columns = {"gamma"};
+  for (auto k : kinds) columns.emplace_back(strategy_name(k));
+  columns.emplace_back("total writes");
+  auto& t = report.table("max dma queue occupancy", columns);
+
+  for (int gamma : gammas) {
     const std::int64_t block = 2048 / gamma;
-    std::printf("%-8d", gamma);
+    std::vector<bench::Cell> row = {bench::cell(gamma)};
     std::uint64_t total = 0;
     for (auto kind : kinds) {
       offload::ReceiveConfig cfg;
@@ -32,13 +34,17 @@ int main() {
           static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
           ddt::Datatype::int8());
       cfg.strategy = kind;
+      cfg.hpus = hpus;
       cfg.verify = false;
-      const auto r = offload::run_receive(cfg).result;
-      std::printf(" %14zu", r.dma_queue_peak);
-      total = r.dma_writes;
+      const auto run = offload::run_receive(cfg);
+      report.counters(run.metrics);
+      row.push_back(bench::cell(run.result.dma_queue_peak));
+      total = run.result.dma_writes;
     }
-    std::printf(" %14llu\n", static_cast<unsigned long long>(total));
+    row.push_back(bench::cell(total));
+    t.row(std::move(row));
   }
-  bench::note("paper: queue stays < 160 requests in all cases");
-  return 0;
+  report.note("paper: queue stays < 160 requests in all cases");
 }
+
+NETDDT_BENCH_MAIN()

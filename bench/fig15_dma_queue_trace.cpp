@@ -5,20 +5,20 @@
 // Paper shape: HPU-local and RO-CP have slow handlers -> few requests in
 // flight; RW-CP and specialized have fast handlers -> higher peaks.
 
-#include <cstdio>
+#include <algorithm>
 
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "ddt/datatype.hpp"
 #include "offload/runner.hpp"
 
 using namespace netddt;
 using offload::StrategyKind;
 
-int main() {
-  bench::title("Fig 15",
-               "DMA queue size over time, gamma = 16 (128 B blocks)");
+NETDDT_EXPERIMENT(fig15,
+                  "DMA queue size over time, gamma = 16 (128 B blocks)") {
   constexpr std::uint64_t kMessage = 4ull << 20;
-  constexpr std::int64_t kBlock = 128;
+  const std::int64_t kBlock =
+      static_cast<std::int64_t>(params.blocks_or(128));
   const StrategyKind kinds[] = {StrategyKind::kHpuLocal, StrategyKind::kRoCp,
                                 StrategyKind::kRwCp,
                                 StrategyKind::kSpecialized};
@@ -29,15 +29,23 @@ int main() {
         static_cast<std::int64_t>(kMessage) / kBlock, kBlock, 2 * kBlock,
         ddt::Datatype::int8());
     cfg.strategy = kind;
+    cfg.hpus = params.hpus_or(16);
     cfg.verify = false;
     cfg.trace_dma = true;
     const auto run = offload::run_receive(cfg);
+    report.counters(run.metrics);
 
-    std::printf("\n%s  (host overhead before receive: %.1f us)\n",
-                std::string(strategy_name(kind)).c_str(),
-                sim::to_us(run.result.host_setup_time));
     // Downsample the trace into 16 buckets of max occupancy.
     const auto& trace = run.dma_trace;
+    auto& t = report
+                  .table(std::string(strategy_name(kind)) +
+                             " (host overhead before receive: " +
+                             bench::cell(
+                                 sim::to_us(run.result.host_setup_time), 1)
+                                 .text +
+                             " us)",
+                         {"t(us)", "max depth"})
+                  .unit("16-bucket downsample");
     if (trace.empty()) continue;
     const sim::Time span = trace.back().first + 1;
     constexpr int kBuckets = 16;
@@ -47,18 +55,14 @@ int main() {
       peak[std::min(b, kBuckets - 1)] =
           std::max(peak[std::min(b, kBuckets - 1)], depth);
     }
-    std::printf("  t(us):");
     for (int b = 0; b < kBuckets; ++b) {
-      std::printf(" %5.0f", sim::to_us(span * (b + 1) / kBuckets));
+      t.row({bench::cell(sim::to_us(span * (b + 1) / kBuckets), 0),
+             bench::cell(peak[b])});
     }
-    std::printf("\n  depth:");
-    for (int b = 0; b < kBuckets; ++b) {
-      std::printf(" %5zu", peak[b]);
-    }
-    std::printf("\n");
   }
-  bench::note("paper: slow handlers (HPU-local, RO-CP) keep the queue low; "
+  report.note("paper: slow handlers (HPU-local, RO-CP) keep the queue low; "
               "RW-CP/specialized peak higher; host overhead only for the "
               "checkpointed strategies");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

@@ -9,51 +9,57 @@
 // single-packet messages (first COMB inputs); a slowdown at gamma = 512
 // (SPEC-OC); iovec competitive only at small region counts.
 
-#include <cstdio>
-
 #include "apps/workloads.hpp"
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "offload/runner.hpp"
 
 using namespace netddt;
 using offload::StrategyKind;
 
-int main() {
-  bench::title("Fig 16", "app-DDT speedup over host unpacking");
-  std::printf("%-10s %-18s %-3s %8s %9s %9s | %7s %10s | %7s %10s | %7s %10s\n",
-              "app", "ddt", "in", "gamma", "T(us)", "S(KiB)", "RW-CP",
-              "toNIC", "Spec", "toNIC", "iovec", "toNIC");
+NETDDT_EXPERIMENT(fig16, "app-DDT speedup over host unpacking") {
+  auto& t = report.table(
+      "speedup per workload",
+      {"app", "ddt", "in", "gamma", "T(us)", "S(KiB)", "RW-CP", "toNIC",
+       "Spec", "toNIC", "iovec", "toNIC"});
 
-  for (const auto& w : apps::fig16_workloads()) {
+  auto workloads = apps::fig16_workloads();
+  if (params.smoke && workloads.size() > 4) workloads.resize(4);
+
+  for (const auto& w : workloads) {
     offload::ReceiveConfig base;
     base.type = w.type;
     base.count = w.count;
+    base.seed = params.seed_or(1);
     base.verify = false;
 
     auto host = base;
     host.strategy = StrategyKind::kHostUnpack;
     const auto h = offload::run_receive(host).result;
 
-    std::printf("%-10s %-18s %-3c %8.1f %9.1f %9.1f |", w.app.c_str(),
-                w.ddt_kind.c_str(), w.input, h.gamma, sim::to_us(h.msg_time),
-                static_cast<double>(h.message_bytes) / 1024.0);
+    std::vector<bench::Cell> row = {
+        bench::cell(w.app), bench::cell(w.ddt_kind),
+        bench::cell(std::string(1, w.input)), bench::cell(h.gamma, 1),
+        bench::cell(sim::to_us(h.msg_time), 1),
+        bench::cell(static_cast<double>(h.message_bytes) / 1024.0, 1)};
 
     for (auto kind : {StrategyKind::kRwCp, StrategyKind::kSpecialized,
                       StrategyKind::kIovec}) {
       auto cfg = base;
       cfg.strategy = kind;
-      const auto r = offload::run_receive(cfg).result;
+      const auto run = offload::run_receive(cfg);
+      report.counters(run.metrics);
+      const auto& r = run.result;
       const double speedup = static_cast<double>(h.msg_time) /
                              static_cast<double>(r.msg_time);
-      std::printf(" %6.2fx %10s |", speedup,
-                  bench::human_bytes(
-                      static_cast<double>(r.nic_descriptor_bytes))
-                      .c_str());
+      row.push_back(bench::cell(speedup, 2, "x"));
+      row.push_back(
+          bench::cell_bytes(static_cast<double>(r.nic_descriptor_bytes)));
     }
-    std::printf("\n");
+    t.row(std::move(row));
   }
-  bench::note("paper: up to ~10-12x; ~1x for single-packet messages; "
+  report.note("paper: up to ~10-12x; ~1x for single-packet messages; "
               "slowdown at gamma=512 (SPEC-OC); iovec descriptor size is "
               "linear in the region count");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

@@ -4,48 +4,55 @@
 // offloading writes the message once, host unpacking re-reads the
 // packed stream and fills + writes back every destination line.
 
-#include <cstdio>
 #include <vector>
 
 #include "apps/workloads.hpp"
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "offload/runner.hpp"
 #include "sim/stats.hpp"
 
 using namespace netddt;
 using offload::StrategyKind;
 
-int main() {
-  bench::title("Fig 17", "main-memory traffic: RW-CP vs host unpacking");
-
+NETDDT_EXPERIMENT(fig17, "main-memory traffic: RW-CP vs host unpacking") {
   sim::Log2Histogram rw_hist(1.0, 16), host_hist(1.0, 16);
   std::vector<double> rw_vol, host_vol;
-  for (const auto& w : apps::fig16_workloads()) {
+  auto workloads = apps::fig16_workloads();
+  if (params.smoke && workloads.size() > 4) workloads.resize(4);
+
+  auto& t = report.table("transfer volume per workload",
+                         {"app", "ddt", "RW-CP(KiB)", "host(KiB)"});
+  for (const auto& w : workloads) {
     offload::ReceiveConfig cfg;
     cfg.type = w.type;
     cfg.count = w.count;
     cfg.verify = false;
     cfg.strategy = StrategyKind::kRwCp;
-    const auto rw = offload::run_receive(cfg).result;
+    const auto rw_run = offload::run_receive(cfg);
+    report.counters(rw_run.metrics);
     cfg.strategy = StrategyKind::kHostUnpack;
-    const auto host = offload::run_receive(cfg).result;
+    const auto host_run = offload::run_receive(cfg);
+    report.counters(host_run.metrics);
 
-    rw_vol.push_back(static_cast<double>(rw.host_traffic_bytes) / 1024.0);
-    host_vol.push_back(static_cast<double>(host.host_traffic_bytes) /
-                       1024.0);
+    rw_vol.push_back(
+        static_cast<double>(rw_run.result.host_traffic_bytes) / 1024.0);
+    host_vol.push_back(
+        static_cast<double>(host_run.result.host_traffic_bytes) / 1024.0);
     rw_hist.add(rw_vol.back());
     host_hist.add(host_vol.back());
+    t.row({bench::cell(w.app), bench::cell(w.ddt_kind),
+           bench::cell(rw_vol.back(), 1), bench::cell(host_vol.back(), 1)});
   }
 
-  std::printf("RW-CP transfer volumes (KiB):\n%s",
-              rw_hist.to_string("KiB").c_str());
-  std::printf("Host transfer volumes (KiB):\n%s",
-              host_hist.to_string("KiB").c_str());
+  report.text("RW-CP transfer volumes (KiB):\n" + rw_hist.to_string("KiB"));
+  report.text("Host transfer volumes (KiB):\n" + host_hist.to_string("KiB"));
   const double gm_rw = sim::geomean(rw_vol);
   const double gm_host = sim::geomean(host_vol);
-  std::printf("geomean: RW-CP %.1f KiB, host %.1f KiB -> host moves %.1fx "
-              "more data\n",
-              gm_rw, gm_host, gm_host / gm_rw);
-  bench::note("paper: host-based unpacking moves 3.8x more data (geomean)");
-  return 0;
+  auto& g = report.table("geomean", {"strategy", "KiB"});
+  g.row({bench::cell("RW-CP"), bench::cell(gm_rw, 1)});
+  g.row({bench::cell("host"), bench::cell(gm_host, 1)});
+  g.row({bench::cell("host/RW-CP"), bench::cell(gm_host / gm_rw, 1, "x")});
+  report.note("paper: host-based unpacking moves 3.8x more data (geomean)");
 }
+
+NETDDT_BENCH_MAIN()

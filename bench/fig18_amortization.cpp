@@ -6,28 +6,30 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <vector>
 
 #include "apps/workloads.hpp"
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "offload/runner.hpp"
 #include "sim/stats.hpp"
 
 using namespace netddt;
 using offload::StrategyKind;
 
-int main() {
-  bench::title("Fig 18", "datatype reuses to amortize checkpoint creation");
-
+NETDDT_EXPERIMENT(fig18, "datatype reuses to amortize checkpoint creation") {
   std::vector<double> reuses;
-  for (const auto& w : apps::fig16_workloads()) {
+  auto workloads = apps::fig16_workloads();
+  if (params.smoke && workloads.size() > 4) workloads.resize(4);
+
+  for (const auto& w : workloads) {
     offload::ReceiveConfig cfg;
     cfg.type = w.type;
     cfg.count = w.count;
     cfg.verify = false;
     cfg.strategy = StrategyKind::kRwCp;
-    const auto rw = offload::run_receive(cfg).result;
+    const auto rw_run = offload::run_receive(cfg);
+    report.counters(rw_run.metrics);
+    const auto rw = rw_run.result;
     cfg.strategy = StrategyKind::kHostUnpack;
     const auto host = offload::run_receive(cfg).result;
 
@@ -40,10 +42,11 @@ int main() {
 
   sim::Log2Histogram hist(1.0, 8);
   for (double r : reuses) hist.add(std::max(r, 1.0));
-  std::printf("histogram of required reuses:\n%s",
-              hist.to_string("x").c_str());
+  report.text("histogram of required reuses:\n" + hist.to_string("x"));
   const double p75 = sim::percentile(reuses, 75.0);
-  std::printf("75th percentile: %.0f reuses (paper: < 4 in 75%% of cases)\n",
-              p75);
-  return 0;
+  auto& t = report.table("required reuses", {"percentile", "reuses"});
+  t.row({bench::cell("p75"), bench::cell(p75, 0)});
+  report.note("paper: < 4 reuses in 75% of cases");
 }
+
+NETDDT_BENCH_MAIN()

@@ -3,46 +3,56 @@
 // up to ~26% at 64 nodes, shrinking as the unpack overhead becomes a
 // smaller share of the runtime at scale.
 
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "goal/fft2d.hpp"
 
 using namespace netddt;
 
-int main() {
-  bench::title("Fig 19", "FFT2D strong scaling, 20480 x 20480 matrix");
-  std::printf("%-7s %11s %11s %11s %11s %9s\n", "nodes", "host(ms)",
-              "rwcp(ms)", "compute", "comm+unp", "speedup");
-  for (const auto& pt :
-       goal::fft2d_scaling(20480, {64, 128, 256, 512, 1024})) {
-    std::printf("%-7u %11.1f %11.1f %11.1f %11.1f %8.1f%%\n", pt.nodes,
-                sim::to_ms(pt.host.total), sim::to_ms(pt.offloaded.total),
-                sim::to_ms(pt.host.compute),
-                sim::to_ms(pt.host.communicate + pt.host.unpack),
-                pt.speedup_percent);
+NETDDT_EXPERIMENT(fig19, "FFT2D strong scaling, 20480 x 20480 matrix") {
+  constexpr std::uint32_t kN = 20480;
+  report.param("matrix",
+               bench::Json{bench::human_bytes(static_cast<double>(kN) * kN *
+                                              sizeof(double))});
+
+  std::vector<std::uint32_t> nodes = {64, 128, 256, 512, 1024};
+  std::vector<std::uint32_t> trace_nodes = {64, 128, 256};
+  if (params.smoke) {
+    nodes = {64, 256};
+    trace_nodes = {64};
   }
-  bench::note("paper: ~26% speedup at 64 nodes, decreasing with scale");
+
+  auto& t = report.table("closed-form scaling",
+                         {"nodes", "host(ms)", "rwcp(ms)", "compute",
+                          "comm+unp", "speedup"});
+  for (const auto& pt : goal::fft2d_scaling(kN, nodes)) {
+    t.row({bench::cell(pt.nodes), bench::cell(sim::to_ms(pt.host.total), 1),
+           bench::cell(sim::to_ms(pt.offloaded.total), 1),
+           bench::cell(sim::to_ms(pt.host.compute), 1),
+           bench::cell(sim::to_ms(pt.host.communicate + pt.host.unpack), 1),
+           bench::cell(pt.speedup_percent, 1, "%")});
+  }
+  report.note("paper: ~26% speedup at 64 nodes, decreasing with scale");
 
   // Trace-driven validation (full GOAL schedule through the LogGP
   // simulator, the paper's LogGOPSim methodology): O(nodes^2) ops, so
   // run at moderate scales and compare against the closed form above.
-  std::printf("\ntrace-driven validation (LogGP schedule replay):\n");
-  std::printf("%-7s %11s %11s %9s\n", "nodes", "host(ms)", "rwcp(ms)",
-              "speedup");
-  for (std::uint32_t nodes : {64u, 128u, 256u}) {
+  auto& v = report.table("trace-driven validation (LogGP schedule replay)",
+                         {"nodes", "host(ms)", "rwcp(ms)", "speedup"});
+  for (std::uint32_t n : trace_nodes) {
     goal::Fft2dConfig cfg;
-    cfg.n = 20480;
-    cfg.nodes = nodes;
+    cfg.n = kN;
+    cfg.nodes = n;
     cfg.unpack = offload::StrategyKind::kHostUnpack;
     const auto host = goal::run_fft2d_trace(cfg);
     cfg.unpack = offload::StrategyKind::kRwCp;
     const auto off = goal::run_fft2d_trace(cfg);
-    std::printf("%-7u %11.1f %11.1f %8.1f%%\n", nodes,
-                sim::to_ms(host.total), sim::to_ms(off.total),
-                100.0 * (static_cast<double>(host.total) -
-                         static_cast<double>(off.total)) /
-                    static_cast<double>(host.total));
+    v.row({bench::cell(n), bench::cell(sim::to_ms(host.total), 1),
+           bench::cell(sim::to_ms(off.total), 1),
+           bench::cell(100.0 * (static_cast<double>(host.total) -
+                                static_cast<double>(off.total)) /
+                           static_cast<double>(host.total),
+                       1, "%")});
   }
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

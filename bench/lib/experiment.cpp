@@ -1,0 +1,197 @@
+#include "bench/lib/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace netddt::bench {
+
+namespace {
+
+std::vector<Experiment>& registry() {
+  static std::vector<Experiment> experiments;
+  return experiments;
+}
+
+bool parse_u32(const char* s, std::uint32_t* out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_f64(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --hpus N        override the HPU count\n"
+      "  --epsilon X     override the checkpoint epsilon\n"
+      "  --blocks N      override the block size (bytes)\n"
+      "  --seed N        override the experiment seed\n"
+      "  --line-rate G   override the link rate (Gbit/s)\n"
+      "  --json PATH     write the machine-readable report\n"
+      "  --smoke         trimmed sweeps (fast CI mode)\n"
+      "  --list          print registered experiments and exit\n"
+      "  --only a,b,c    run only the named experiments\n",
+      argv0);
+}
+
+std::vector<std::string> split_csv(const char* s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Experiment>& experiments() { return registry(); }
+
+Registration::Registration(const char* name, const char* title,
+                           void (*run)(Report&, const Params&)) {
+  registry().push_back(Experiment{name, title, run});
+  // Deterministic enumeration order regardless of link order.
+  std::sort(registry().begin(), registry().end(),
+            [](const Experiment& a, const Experiment& b) {
+              return a.name < b.name;
+            });
+}
+
+Json make_document(const std::vector<Json>& experiment_reports) {
+  Json doc = Json::object();
+  doc["schema_version"] = Json{kSchemaVersion};
+  doc["generator"] = Json{"netddt_bench"};
+  Json exps = Json::array();
+  for (const auto& e : experiment_reports) exps.push_back(e);
+  doc["experiments"] = std::move(exps);
+  return doc;
+}
+
+int bench_main(int argc, char** argv) {
+  Params params;
+  std::string json_path;
+  std::vector<std::string> only;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      list_only = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      params.smoke = true;
+    } else if (std::strcmp(arg, "--hpus") == 0) {
+      const char* v = next();
+      std::uint32_t n = 0;
+      ok = v != nullptr && parse_u32(v, &n);
+      if (ok) params.hpus = n;
+    } else if (std::strcmp(arg, "--epsilon") == 0) {
+      const char* v = next();
+      double d = 0;
+      ok = v != nullptr && parse_f64(v, &d);
+      if (ok) params.epsilon = d;
+    } else if (std::strcmp(arg, "--blocks") == 0) {
+      const char* v = next();
+      std::uint64_t n = 0;
+      ok = v != nullptr && parse_u64(v, &n);
+      if (ok) params.blocks = n;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = next();
+      std::uint64_t n = 0;
+      ok = v != nullptr && parse_u64(v, &n);
+      if (ok) params.seed = n;
+    } else if (std::strcmp(arg, "--line-rate") == 0) {
+      const char* v = next();
+      double d = 0;
+      ok = v != nullptr && parse_f64(v, &d);
+      if (ok) params.line_rate = d;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) json_path = v;
+    } else if (std::strcmp(arg, "--only") == 0) {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) only = split_csv(v);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage(argv[0]);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value for %s\n", arg);
+      return 2;
+    }
+  }
+
+  if (list_only) {
+    for (const auto& e : experiments()) {
+      std::printf("%-24s %s\n", e.name.c_str(), e.title.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<Json> reports;
+  bool ran_any = false;
+  for (const auto& e : experiments()) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), e.name) == only.end()) {
+      continue;
+    }
+    ran_any = true;
+    Report report(e.name, e.title);
+    params.bind(&report);
+    if (params.smoke) report.param("smoke", Json{true});
+    e.run(report, params);
+    params.bind(nullptr);
+    report.print();
+    reports.push_back(report.to_json());
+  }
+  if (!ran_any) {
+    std::fprintf(stderr, "no experiments matched\n");
+    return 2;
+  }
+
+  if (!json_path.empty()) {
+    const Json doc = make_document(reports);
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << doc.dump(2);
+    std::printf("\nwrote %s (%zu experiment%s)\n", json_path.c_str(),
+                reports.size(), reports.size() == 1 ? "" : "s");
+  }
+  return 0;
+}
+
+}  // namespace netddt::bench

@@ -1,0 +1,107 @@
+#pragma once
+// Experiment registry + CLI of the harness. Each figure binary declares
+// its sweep as a NETDDT_EXPERIMENT(name, "title") { ... } body taking
+// (Report& report, const Params& params); the same translation unit
+// builds either as a standalone binary (NETDDT_BENCH_STANDALONE defined
+// by the build -> NETDDT_BENCH_MAIN() expands to a real main) or as one
+// registrant inside bench/run_all, which enumerates every experiment.
+//
+// CLI (both standalone and run_all):
+//   --hpus N --epsilon X --blocks N --seed N --line-rate G   overrides
+//   --json PATH    write the schema-versioned JSON document
+//   --smoke        trimmed sweeps (CI)
+//   --list         print registered experiment ids and exit
+//   --only a,b,c   run a subset (run_all)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/lib/report.hpp"
+
+namespace netddt::bench {
+
+/// Sweep overrides. The *_or helpers return the override or the
+/// experiment's default AND record the effective value in the report's
+/// parameter echo, so the JSON always states what actually ran.
+class Params {
+ public:
+  std::optional<std::uint32_t> hpus;
+  std::optional<double> epsilon;
+  std::optional<std::uint64_t> blocks;  // block size (bytes)
+  std::optional<std::uint64_t> seed;
+  std::optional<double> line_rate;  // Gbit/s
+  bool smoke = false;
+
+  std::uint32_t hpus_or(std::uint32_t def) const {
+    return echo("hpus", hpus.value_or(def));
+  }
+  double epsilon_or(double def) const {
+    return echo("epsilon", epsilon.value_or(def));
+  }
+  std::uint64_t blocks_or(std::uint64_t def) const {
+    return echo("blocks", blocks.value_or(def));
+  }
+  std::uint64_t seed_or(std::uint64_t def) const {
+    return echo("seed", seed.value_or(def));
+  }
+  double line_rate_or(double def) const {
+    return echo("line_rate_gbps", line_rate.value_or(def));
+  }
+
+  /// Bound to the report of the experiment currently running.
+  void bind(Report* report) const { report_ = report; }
+
+ private:
+  template <typename T>
+  T echo(const char* name, T value) const {
+    if (report_ != nullptr) report_->param(name, Json{value});
+    return value;
+  }
+  mutable Report* report_ = nullptr;
+};
+
+struct Experiment {
+  std::string name;   // stable id, e.g. "fig08"
+  std::string title;
+  void (*run)(Report&, const Params&) = nullptr;
+};
+
+/// All experiments registered in this binary, sorted by name.
+const std::vector<Experiment>& experiments();
+
+struct Registration {
+  Registration(const char* name, const char* title,
+               void (*run)(Report&, const Params&));
+};
+
+/// Shared main: parse flags, run the selected experiments, print the
+/// human tables, optionally write the JSON document. Returns exit code.
+int bench_main(int argc, char** argv);
+
+/// The document bench_main writes for --json (exposed for tests):
+/// {"schema_version": .., "generator": .., "experiments": [...]}.
+Json make_document(const std::vector<Json>& experiment_reports);
+
+inline constexpr int kSchemaVersion = 1;
+
+#define NETDDT_EXPERIMENT(name_, title_)                                    \
+  static void netddt_experiment_##name_(::netddt::bench::Report&,           \
+                                        const ::netddt::bench::Params&);    \
+  static const ::netddt::bench::Registration netddt_registration_##name_{   \
+      #name_, title_, &netddt_experiment_##name_};                          \
+  static void netddt_experiment_##name_(                                    \
+      [[maybe_unused]] ::netddt::bench::Report& report,                     \
+      [[maybe_unused]] const ::netddt::bench::Params& params)
+
+#if defined(NETDDT_BENCH_STANDALONE)
+#define NETDDT_BENCH_MAIN()                                \
+  int main(int argc, char** argv) {                        \
+    return ::netddt::bench::bench_main(argc, argv);        \
+  }
+#else
+#define NETDDT_BENCH_MAIN()
+#endif
+
+}  // namespace netddt::bench

@@ -1,0 +1,257 @@
+#include "bench/lib/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace netddt::bench {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  // Shortest round-trip representation: deterministic across runs.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_newline(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos >= text.size()) return std::nullopt;
+    switch (text[pos]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        auto s = string();
+        if (!s) return std::nullopt;
+        return Json{std::move(*s)};
+      }
+      case 't':
+        if (text.substr(pos, 4) == "true") {
+          pos += 4;
+          return Json{true};
+        }
+        return std::nullopt;
+      case 'f':
+        if (text.substr(pos, 5) == "false") {
+          pos += 5;
+          return Json{false};
+        }
+        return std::nullopt;
+      case 'n':
+        if (text.substr(pos, 4) == "null") {
+          pos += 4;
+          return Json{};
+        }
+        return std::nullopt;
+      default: return number();
+    }
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        char e = text[pos++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            auto res = std::from_chars(text.data() + pos,
+                                       text.data() + pos + 4, code, 16);
+            if (res.ec != std::errc{}) return std::nullopt;
+            pos += 4;
+            out += static_cast<char>(code);  // harness emits ASCII only
+            break;
+          }
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos >= text.size()) return std::nullopt;
+    ++pos;  // closing quote
+    return out;
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos;
+    bool is_double = false;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      if (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E') {
+        is_double = true;
+      }
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    const std::string_view tok = text.substr(start, pos - start);
+    if (!is_double) {
+      std::int64_t v = 0;
+      auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (res.ec == std::errc{} && res.ptr == tok.data() + tok.size()) {
+        return Json{v};
+      }
+    }
+    double d = 0;
+    auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) {
+      return std::nullopt;
+    }
+    return Json{d};
+  }
+
+  std::optional<Json> array() {
+    if (!eat('[')) return std::nullopt;
+    Json arr = Json::array();
+    skip_ws();
+    if (eat(']')) return arr;
+    while (true) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      if (eat(']')) return arr;
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> object() {
+    if (!eat('{')) return std::nullopt;
+    Json obj = Json::object();
+    skip_ws();
+    if (eat('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key || !eat(':')) return std::nullopt;
+      auto v = value();
+      if (!v) return std::nullopt;
+      obj[*key] = std::move(*v);
+      if (eat('}')) return obj;
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+};
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: append_double(out, double_); break;
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline(out, indent, depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline(out, indent, depth + 1);
+        append_escaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.value();
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace netddt::bench

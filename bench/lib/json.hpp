@@ -1,0 +1,106 @@
+#pragma once
+// Minimal JSON document model for the experiment harness: enough to emit
+// the schema-versioned report (ordered objects, deterministic number
+// formatting via std::to_chars) and to parse it back for validation in
+// run_all / the golden tests. Not a general-purpose JSON library.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace netddt::bench {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                    // NOLINT
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}              // NOLINT
+  Json(std::uint64_t v)                                             // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}                       // NOLINT
+  Json(unsigned v) : kind_(Kind::kInt), int_(v) {}                  // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}              // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {} // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}            // NOLINT
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return kind_ == Kind::kDouble ? static_cast<std::int64_t>(double_)
+                                  : int_;
+  }
+  double as_double() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return str_; }
+
+  // Arrays.
+  void push_back(Json v) { items_.push_back(std::move(v)); }
+  std::size_t size() const {
+    return kind_ == Kind::kObject ? members_.size() : items_.size();
+  }
+  const Json& at(std::size_t i) const { return items_[i]; }
+  const std::vector<Json>& items() const { return items_; }
+
+  // Objects keep insertion order (deterministic output).
+  Json& operator[](const std::string& key) {
+    for (auto& [k, v] : members_) {
+      if (k == key) return v;
+    }
+    members_.emplace_back(key, Json{});
+    return members_.back().second;
+  }
+  const Json* find(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serialize; `indent` spaces per level (0 = compact single line).
+  std::string dump(int indent = 2) const;
+
+  /// Strict-enough recursive-descent parse of what dump() emits.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace netddt::bench

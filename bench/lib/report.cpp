@@ -1,0 +1,168 @@
+#include "bench/lib/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace netddt::bench {
+
+std::string human_bytes(double b) {
+  char buf[32];
+  if (b >= static_cast<double>(1ull << 40)) {
+    std::snprintf(buf, sizeof buf, "%.1fTiB",
+                  b / static_cast<double>(1ull << 40));
+  } else if (b >= static_cast<double>(1ull << 30)) {
+    std::snprintf(buf, sizeof buf, "%.1fGiB",
+                  b / static_cast<double>(1ull << 30));
+  } else if (b >= static_cast<double>(1ull << 20)) {
+    std::snprintf(buf, sizeof buf, "%.1fMiB",
+                  b / static_cast<double>(1ull << 20));
+  } else if (b >= static_cast<double>(1ull << 10)) {
+    std::snprintf(buf, sizeof buf, "%.1fKiB",
+                  b / static_cast<double>(1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", b);
+  }
+  return buf;
+}
+
+Cell cell(const std::string& text) { return Cell{text, Json{text}}; }
+
+Cell cell(const std::string& text, Json value) {
+  return Cell{text, std::move(value)};
+}
+
+Cell cell(double v, int precision, const std::string& suffix) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%s", precision, v, suffix.c_str());
+  return Cell{buf, Json{v}};
+}
+
+Cell cell_bytes(double bytes) {
+  return Cell{human_bytes(bytes), Json{bytes}};
+}
+
+void Table::print() const {
+  std::size_t ncols = columns_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].text.size());
+    }
+  }
+
+  if (!name_.empty() || !unit_.empty()) {
+    std::string heading = name_;
+    if (!unit_.empty()) heading += "  (" + unit_ + ")";
+    std::printf("\n%s\n", heading.c_str());
+  }
+  // Header: first column left-aligned, the rest right-aligned (values).
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf(c == 0 ? "  %-*s" : "  %*s", static_cast<int>(width[c]),
+                columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::printf(c == 0 ? "  %-*s" : "  %*s", static_cast<int>(width[c]),
+                  r[c].text.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+Json Table::to_json() const {
+  Json t = Json::object();
+  t["name"] = Json{name_};
+  if (!unit_.empty()) t["unit"] = Json{unit_};
+  Json cols = Json::array();
+  for (const auto& c : columns_) cols.push_back(Json{c});
+  t["columns"] = std::move(cols);
+  Json rows = Json::array();
+  for (const auto& r : rows_) {
+    Json row = Json::array();
+    for (const auto& c : r) row.push_back(c.value);
+    rows.push_back(std::move(row));
+  }
+  t["rows"] = std::move(rows);
+  return t;
+}
+
+void Report::param(const std::string& name, Json value) {
+  for (auto& [k, v] : params_) {
+    if (k == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  params_.emplace_back(name, std::move(value));
+}
+
+Table& Report::table(std::string name, std::vector<std::string> columns) {
+  tables_.emplace_back(std::move(name), std::move(columns));
+  return tables_.back();
+}
+
+void Report::note(std::string text) {
+  blocks_.emplace_back(true, std::move(text));
+}
+
+void Report::text(std::string block) {
+  blocks_.emplace_back(false, std::move(block));
+}
+
+void Report::counters(const sim::MetricsSnapshot& snap) {
+  for (const auto& [name, v] : snap.counters) counters_[name] += v;
+  for (const auto& [name, g] : snap.gauges) {
+    auto& peak = gauge_peaks_[name + ".peak"];
+    peak = std::max(peak, g.peak);
+  }
+}
+
+void Report::print() const {
+  std::printf("\n=== %s — %s ===\n", id_.c_str(), title_.c_str());
+  if (!params_.empty()) {
+    std::string line = "  params:";
+    for (const auto& [k, v] : params_) {
+      line += " " + k + "=" + v.dump(0);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  for (const auto& t : tables_) t.print();
+  for (const auto& [is_note, text] : blocks_) {
+    if (is_note) {
+      std::printf("  (%s)\n", text.c_str());
+    } else {
+      std::printf("%s", text.c_str());
+    }
+  }
+}
+
+Json Report::to_json() const {
+  Json e = Json::object();
+  e["id"] = Json{id_};
+  e["title"] = Json{title_};
+  Json params = Json::object();
+  for (const auto& [k, v] : params_) params[k] = v;
+  e["parameters"] = std::move(params);
+  Json tables = Json::array();
+  for (const auto& t : tables_) tables.push_back(t.to_json());
+  e["tables"] = std::move(tables);
+  Json counters = Json::object();
+  for (const auto& [k, v] : counters_) counters[k] = Json{v};
+  e["counters"] = std::move(counters);
+  Json gauges = Json::object();
+  for (const auto& [k, v] : gauge_peaks_) gauges[k] = Json{v};
+  e["gauges"] = std::move(gauges);
+  Json notes = Json::array();
+  for (const auto& [is_note, text] : blocks_) {
+    if (is_note) notes.push_back(Json{text});
+  }
+  e["notes"] = std::move(notes);
+  return e;
+}
+
+}  // namespace netddt::bench

@@ -1,0 +1,114 @@
+#pragma once
+// Report/Table layer of the experiment harness. A figure binary fills a
+// Report with parameter echoes, tables (the human-readable shape of the
+// paper figure), free-form notes, and the metrics snapshot of its runs;
+// the harness renders it as the familiar console table AND as one
+// experiment entry in the schema-versioned JSON document (EXPERIMENTS.md
+// "Machine-readable output").
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "bench/lib/json.hpp"
+#include "sim/metrics.hpp"
+
+namespace netddt::bench {
+
+/// Human-readable byte count: B / KiB / MiB / GiB / TiB.
+std::string human_bytes(double b);
+
+/// One table cell: the human rendering plus the machine value that goes
+/// into the JSON row.
+struct Cell {
+  std::string text;
+  Json value;
+};
+
+/// Format helpers. `cell(v, precision, suffix)` renders the number for
+/// humans and keeps the raw value for the JSON row.
+Cell cell(const std::string& text);
+Cell cell(const std::string& text, Json value);  // custom human form
+Cell cell(double v, int precision, const std::string& suffix = "");
+Cell cell_bytes(double bytes);  // human_bytes text, raw byte value
+
+template <typename T>
+  requires std::is_integral_v<T>
+Cell cell(T v, const std::string& suffix = "") {
+  return Cell{std::to_string(v) + suffix,
+              Json{static_cast<std::int64_t>(v)}};
+}
+
+class Table {
+ public:
+  Table(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  Table& unit(std::string u) {
+    unit_ = std::move(u);
+    return *this;
+  }
+  /// Row values beyond the column count are allowed (ragged trailing
+  /// annotations); missing trailing cells render empty.
+  Table& row(std::vector<Cell> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print() const;
+  Json to_json() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::string unit_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+class Report {
+ public:
+  Report(std::string id, std::string title)
+      : id_(std::move(id)), title_(std::move(title)) {}
+
+  const std::string& id() const { return id_; }
+  const std::string& title() const { return title_; }
+
+  /// Echo an effective parameter value (defaults included) so a JSON
+  /// consumer can reproduce the run.
+  void param(const std::string& name, Json value);
+
+  /// Add a table; the reference stays valid for the report's lifetime.
+  Table& table(std::string name, std::vector<std::string> columns);
+
+  /// Free-form annotation ("paper: ..."), printed in parentheses.
+  void note(std::string text);
+
+  /// Preformatted block printed verbatim (histograms, traces).
+  void text(std::string block);
+
+  /// Merge a run's metrics: counters sum, gauge peaks max (exported as
+  /// "<name>.peak"). Experiments running many configurations call this
+  /// once per run; the totals land in the JSON "counters" object.
+  void counters(const sim::MetricsSnapshot& snap);
+
+  void print() const;
+  Json to_json() const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::vector<std::pair<std::string, Json>> params_;
+  std::deque<Table> tables_;  // deque: stable references
+  std::vector<std::pair<bool, std::string>> blocks_;  // (is_note, text)
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauge_peaks_;
+};
+
+}  // namespace netddt::bench

@@ -1,0 +1,10 @@
+// Run every registered figure/ablation experiment in one process and
+// (with --json) emit the combined schema-versioned report. The figure
+// translation units are compiled directly into this binary so each one's
+// static Registration runs; see bench/CMakeLists.txt.
+
+#include "bench/lib/experiment.hpp"
+
+int main(int argc, char** argv) {
+  return netddt::bench::bench_main(argc, argv);
+}

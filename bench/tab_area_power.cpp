@@ -5,46 +5,60 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/lib/experiment.hpp"
 #include "pulp/pulp.hpp"
 
 using namespace netddt;
 
 namespace {
 
-void report(const char* name, const pulp::PulpConfig& cfg) {
+void report_config(bench::Report& report, const char* name,
+                   const pulp::PulpConfig& cfg) {
   const auto a = pulp::estimate_area(cfg);
-  std::printf("\n%s: %u clusters x %u cores, L1 %llu KiB/cluster, L2 %llu "
-              "MiB\n",
-              name, cfg.clusters, cfg.cores_per_cluster,
-              static_cast<unsigned long long>(cfg.l1_bytes_per_cluster >>
-                                              10),
-              static_cast<unsigned long long>(cfg.l2_bytes >> 20));
-  std::printf("  total: %.1f MGE = %.1f mm^2 (85%% density), ~%.1f W\n",
-              a.total_mge, a.total_mm2, a.watts);
-  std::printf("  breakdown: clusters %.0f%%, L2 SPM %.0f%%, interconnect "
-              "%.0f%%\n",
-              100 * a.clusters_share, 100 * a.l2_share,
-              100 * a.interconnect_share);
-  std::printf("  per cluster (%.2f MGE): L1 %.0f%%, I$ %.0f%%, cores "
-              "%.0f%%, DMA %.0f%%\n",
-              a.cluster_mge, 100 * a.l1_share, 100 * a.icache_share,
-              100 * a.cores_share, 100 * a.dma_share);
+  char heading[160];
+  std::snprintf(heading, sizeof heading,
+                "%s: %u clusters x %u cores, L1 %llu KiB/cluster, L2 %llu "
+                "MiB",
+                name, cfg.clusters, cfg.cores_per_cluster,
+                static_cast<unsigned long long>(cfg.l1_bytes_per_cluster >>
+                                                10),
+                static_cast<unsigned long long>(cfg.l2_bytes >> 20));
+  auto& t = report.table(heading, {"quantity", "value"});
+  t.row({bench::cell("total MGE"), bench::cell(a.total_mge, 1)});
+  t.row({bench::cell("area mm^2 (85% density)"),
+         bench::cell(a.total_mm2, 1)});
+  t.row({bench::cell("power W"), bench::cell(a.watts, 1)});
+  t.row({bench::cell("clusters share"),
+         bench::cell(100 * a.clusters_share, 0, "%")});
+  t.row({bench::cell("L2 SPM share"), bench::cell(100 * a.l2_share, 0, "%")});
+  t.row({bench::cell("interconnect share"),
+         bench::cell(100 * a.interconnect_share, 0, "%")});
+  t.row({bench::cell("per-cluster MGE"), bench::cell(a.cluster_mge, 2)});
+  t.row({bench::cell("cluster L1 share"),
+         bench::cell(100 * a.l1_share, 0, "%")});
+  t.row({bench::cell("cluster I$ share"),
+         bench::cell(100 * a.icache_share, 0, "%")});
+  t.row({bench::cell("cluster cores share"),
+         bench::cell(100 * a.cores_share, 0, "%")});
+  t.row({bench::cell("cluster DMA share"),
+         bench::cell(100 * a.dma_share, 0, "%")});
 }
 
 }  // namespace
 
-int main() {
-  bench::title("Sec 4.4", "sPIN accelerator area/power (22 nm FDSOI)");
-  report("reference design", pulp::PulpConfig{});
+NETDDT_EXPERIMENT(tab_area_power,
+                  "sPIN accelerator area/power (22 nm FDSOI)") {
+  report_config(report, "reference design", pulp::PulpConfig{});
 
   pulp::PulpConfig bluefield;
   bluefield.clusters = 8;
   bluefield.l2_bytes = 10ull << 20;
-  report("BlueField-budget variant (paper: 64 cores / 18 MiB)", bluefield);
+  report_config(report, "BlueField-budget variant (paper: 64 cores / 18 MiB)",
+                bluefield);
 
-  bench::note("paper: 100 MGE, 23.5 mm^2, ~6 W; clusters 39% / L2 59% / "
+  report.note("paper: 100 MGE, 23.5 mm^2, ~6 W; clusters 39% / L2 59% / "
               "interconnect 2%; in-cluster L1 84% / I$ 7% / cores 6% / "
               "DMA 3%; BlueField compute budget ~51 mm^2");
-  return 0;
 }
+
+NETDDT_BENCH_MAIN()

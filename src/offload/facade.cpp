@@ -79,7 +79,7 @@ void DdtEngine::evict_one(int max_priority, bool* evicted) {
   if (victim == nullptr) return;
   nic_->memory().free(victim->mem);
   victim->mem = spin::NicMemory::kInvalid;
-  ++evictions_;
+  evictions_->add(1);
   *evicted = true;
 }
 
@@ -150,7 +150,7 @@ DdtEngine::PostResult DdtEngine::post_receive(TypeHandle handle,
 
   // Fallback: plain RDMA receive + host unpack (also the path for
   // types with allow_offload = false).
-  ++host_fallbacks_;
+  host_fallbacks_->add(1);
   me.context = nullptr;
   nic_->match_list().append(p4::ListKind::kPriority, me);
   result.strategy = StrategyKind::kHostUnpack;

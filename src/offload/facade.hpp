@@ -39,7 +39,10 @@ class DdtEngine {
  public:
   using TypeHandle = std::uint64_t;
 
-  explicit DdtEngine(spin::NicModel& nic) : nic_(&nic) {}
+  explicit DdtEngine(spin::NicModel& nic)
+      : nic_(&nic),
+        evictions_(&nic.metrics().counter("offload.evictions")),
+        host_fallbacks_(&nic.metrics().counter("offload.host_fallbacks")) {}
 
   /// Commit a datatype: normalization + strategy selection happen here;
   /// the type becomes usable in post_receive.
@@ -71,10 +74,11 @@ class DdtEngine {
   void post_overflow_buffer(std::int64_t buffer_offset,
                             std::uint64_t bytes);
 
-  // Introspection for tests/examples.
+  // Introspection for tests/examples; backed by the NIC's registry
+  // ("offload.evictions" / "offload.host_fallbacks").
   std::size_t cached_plans() const;
-  std::uint64_t evictions() const { return evictions_; }
-  std::uint64_t host_fallbacks() const { return host_fallbacks_; }
+  std::uint64_t evictions() const { return evictions_->value(); }
+  std::uint64_t host_fallbacks() const { return host_fallbacks_->value(); }
 
  private:
   struct Committed {
@@ -102,8 +106,8 @@ class DdtEngine {
   std::vector<std::unique_ptr<CachedPlan>> plans_;
   TypeHandle next_handle_ = 1;
   std::uint64_t tick_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t host_fallbacks_ = 0;
+  sim::Counter* evictions_;
+  sim::Counter* host_fallbacks_;
 };
 
 }  // namespace netddt::offload

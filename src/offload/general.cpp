@@ -150,7 +150,13 @@ void GeneralPlan::scatter(spin::HandlerArgs& args, dataloop::Segment& seg) {
   // Catch up (or rewind) to the packet start, charging before the
   // processing loop so DMA issue instants stay ordered.
   const auto cstats = seg.advance_to(first);
-  if (cstats.reset) args.meter.charge(spin::Phase::kSetup, c.h_reset);
+  if (cstats.reset) {
+    args.meter.charge(spin::Phase::kSetup, c.h_reset);
+    if (m_resets_ != nullptr) m_resets_->add(1);
+  }
+  if (m_catchup_blocks_ != nullptr) {
+    m_catchup_blocks_->add(cstats.catchup_blocks);
+  }
   args.meter.charge(spin::Phase::kSetup,
                     c.h_setup + static_cast<sim::Time>(
                                     cstats.catchup_blocks) *
@@ -174,6 +180,7 @@ void GeneralPlan::payload_hpu_local(spin::HandlerArgs& args) {
 void GeneralPlan::payload_ro_cp(spin::HandlerArgs& args) {
   // Copy the closest checkpoint locally; never write shared state back.
   args.meter.charge(spin::Phase::kInit, cost_->h_init + cost_->h_seg_copy);
+  if (m_ckpt_copies_ != nullptr) m_ckpt_copies_->add(1);
   dataloop::Segment local = table_->closest(args.pkt.offset).state;
   scatter(args, local);
 }
@@ -191,13 +198,19 @@ void GeneralPlan::payload_rw_cp(spin::HandlerArgs& args) {
     // packet. Restore the master copy and catch up from there.
     args.meter.charge(spin::Phase::kInit,
                       cost_->h_seg_copy + cost_->h_reset);
+    if (m_rollbacks_ != nullptr) m_rollbacks_->add(1);
+    if (m_ckpt_copies_ != nullptr) m_ckpt_copies_->add(1);
     seg = table_->at(std::min<std::size_t>(seq, table_->size() - 1)).state;
   }
   scatter(args, seg);
 }
 
 spin::ExecutionContext GeneralPlan::context(spin::NicModel& nic) {
-  (void)nic;
+  sim::MetricsRegistry& m = nic.metrics();
+  m_ckpt_copies_ = &m.counter("offload.checkpoint.copies");
+  m_rollbacks_ = &m.counter("offload.rollbacks");
+  m_resets_ = &m.counter("offload.segment_resets");
+  m_catchup_blocks_ = &m.counter("offload.catchup_blocks");
   spin::ExecutionContext ctx;
   ctx.policy = policy_;
   switch (config_.kind) {

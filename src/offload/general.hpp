@@ -98,6 +98,13 @@ class GeneralPlan {
   std::uint64_t descriptor_bytes_ = 0;
   sim::Time host_setup_time_ = 0;
   spin::SchedulingPolicy policy_;
+
+  // Strategy-level metrics, resolved from the NIC's registry when the
+  // execution context is built (handlers only run through a context).
+  sim::Counter* m_ckpt_copies_ = nullptr;     // offload.checkpoint.copies
+  sim::Counter* m_rollbacks_ = nullptr;       // offload.rollbacks
+  sim::Counter* m_resets_ = nullptr;          // offload.segment_resets
+  sim::Counter* m_catchup_blocks_ = nullptr;  // offload.catchup_blocks
 };
 
 }  // namespace netddt::offload

@@ -118,6 +118,10 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
       res.host_setup_time = general->host_setup_time();
       res.checkpoint_interval = general->checkpoint_interval();
       res.checkpoints = general->checkpoints();
+      nic.metrics().counter("offload.checkpoints").add(res.checkpoints);
+      nic.metrics()
+          .counter("offload.checkpoint.interval_bytes")
+          .add(res.checkpoint_interval);
       nic.memory().alloc(res.nic_descriptor_bytes, "general");
       me.context = nic.register_context(general->context(nic));
       break;
@@ -147,21 +151,38 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   const auto* info = nic.info(msg_id);
   assert(info != nullptr && info->done && "message did not complete");
 
+  // Publish the simulator's own high-watermark, then freeze the registry:
+  // everything below reads through the snapshot, not loose struct fields.
+  nic.metrics().gauge("sim.engine.queue_depth").set(
+      static_cast<std::int64_t>(engine.max_pending()));
+  run.metrics = nic.metrics().snapshot();
+  const sim::MetricsSnapshot& snap = run.metrics;
+
   res.msg_time = info->unpack_done - info->first_byte;
   res.e2e_time = info->unpack_done;
-  res.dma_writes = nic.dma().total_writes();
-  res.dma_queue_peak = nic.dma().max_queue_depth();
-  res.pkt_buffer_peak = nic.packet_buffer().peak;
-  res.nic_memory_peak = nic.memory().peak();
-  res.handlers = info->handlers;
-  if (info->handlers > 0) {
-    res.handler_init = info->init_time / static_cast<sim::Time>(info->handlers);
-    res.handler_setup =
-        info->setup_time / static_cast<sim::Time>(info->handlers);
-    res.handler_processing =
-        info->processing_time / static_cast<sim::Time>(info->handlers);
+  res.dma_writes = snap.counter("nic.dma.writes");
+  res.dma_queue_peak =
+      static_cast<std::size_t>(snap.gauge_peak("nic.dma.queue_depth"));
+  res.pkt_buffer_peak =
+      static_cast<std::uint64_t>(snap.gauge_peak("nic.pktbuf.occupancy"));
+  res.nic_memory_peak =
+      static_cast<std::uint64_t>(snap.gauge_peak("nic.mem.used"));
+  res.handlers = snap.counter("nic.handler.invocations");
+  if (res.handlers > 0) {
+    res.handler_init = static_cast<sim::Time>(
+        snap.counter("nic.handler.init_time_ps") / res.handlers);
+    res.handler_setup = static_cast<sim::Time>(
+        snap.counter("nic.handler.setup_time_ps") / res.handlers);
+    res.handler_processing = static_cast<sim::Time>(
+        snap.counter("nic.handler.processing_time_ps") / res.handlers);
   }
-  if (config.trace_dma) run.dma_trace = nic.dma().depth_trace();
+  if (config.trace_dma) {
+    const auto& points = nic.dma().depth_trace();
+    run.dma_trace.reserve(points.size());
+    for (const auto& [when, depth] : points) {
+      run.dma_trace.emplace_back(when, static_cast<std::size_t>(depth));
+    }
+  }
 
   if (host_based) {
     // The CPU unpack happens after the full message landed in the

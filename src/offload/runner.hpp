@@ -10,6 +10,7 @@
 
 #include "ddt/datatype.hpp"
 #include "offload/strategy.hpp"
+#include "sim/metrics.hpp"
 #include "spin/cost_model.hpp"
 
 namespace netddt::offload {
@@ -34,6 +35,10 @@ struct ReceiveConfig {
 struct ReceiveRun {
   ReceiveResult result;
   std::vector<std::pair<sim::Time, std::size_t>> dma_trace;
+  /// Everything the NIC-layer components and the offload strategy
+  /// published during the run ("nic.*" / "offload.*" / "sim.*" scopes);
+  /// the fields in `result` are views into the same data.
+  sim::MetricsSnapshot metrics;
 };
 
 ReceiveRun run_receive(const ReceiveConfig& config);

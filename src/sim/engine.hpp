@@ -6,10 +6,10 @@
 // scheduled for the same instant fire in scheduling order. All NIC, PCIe
 // and host models in this repository are built on this engine.
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -34,25 +34,32 @@ class Engine {
   /// Schedule `fn` at absolute time `when` (>= now()).
   void schedule_at(Time when, Callback fn) {
     assert(when >= now_ && "cannot schedule an event in the past");
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    max_pending_ = std::max(max_pending_, heap_.size());
   }
 
   /// Run until the event queue drains. Returns the time of the last event.
   Time run() {
-    while (!queue_.empty()) step();
+    while (!heap_.empty()) step();
     return now_;
   }
 
   /// Run until the queue drains or simulated time would pass `deadline`.
-  /// Events at exactly `deadline` still execute.
+  /// Events at exactly `deadline` still execute. Time always advances to
+  /// `deadline` (even when the next event lies beyond it), so repeated
+  /// run_until calls observe a monotone clock.
   Time run_until(Time deadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) step();
-    if (now_ < deadline && queue_.empty()) now_ = deadline;
+    while (!heap_.empty() && heap_.front().when <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
     return now_;
   }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  /// High-watermark of the pending-event queue over the engine's
+  /// lifetime (exposed as the `sim.engine.queue_depth` gauge).
+  std::size_t max_pending() const { return max_pending_; }
   std::uint64_t executed() const { return executed_; }
 
  private:
@@ -69,20 +76,23 @@ class Engine {
   };
 
   void step() {
-    // priority_queue::top() is const; move the callback out via a copy of
-    // the handle before popping so the callback may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // pop_heap moves the earliest event to the back, where it can be
+    // moved from without casting away constness; the callback is free to
+    // schedule new events.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     assert(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
     ev.fn();
   }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace netddt::sim

@@ -1,0 +1,39 @@
+#include "sim/metrics.hpp"
+
+namespace netddt::sim {
+
+double Series::time_weighted_mean(Time end) const {
+  if (points_.empty()) return 0.0;
+  double weighted = 0.0;
+  Time span = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Time until = i + 1 < points_.size() ? points_[i + 1].first : end;
+    const Time held = until > points_[i].first ? until - points_[i].first : 0;
+    weighted += points_[i].second * static_cast<double>(held);
+    span += held;
+  }
+  if (span == 0) return points_.back().second;
+  return weighted / static_cast<double>(span);
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsSnapshot::gauge_peak(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second.peak;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = MetricsSnapshot::GaugeValue{g.value(), g.peak()};
+  }
+  for (const auto& [name, s] : series_) snap.series[name] = s.points();
+  return snap;
+}
+
+}  // namespace netddt::sim

@@ -1,0 +1,114 @@
+#pragma once
+// Hierarchically-named metrics registry shared by the simulation layers.
+//
+// Every layer of the stack (DES engine, NIC model, DMA/PCIe queue,
+// scheduler, NIC-memory allocator, offload strategies) publishes into one
+// registry instead of keeping loose struct fields, so benchmarks, tests
+// and the JSON experiment reports all read the same source of truth.
+// Names are dot-scoped, e.g. "nic.dma.queue_depth".
+//
+// Three metric kinds:
+//  - Counter : monotonic, integer-valued (packets matched, DMA writes).
+//  - Gauge   : instantaneous level with a high-watermark (queue depths,
+//              memory occupancy).
+//  - Series  : (time, value) samples, e.g. the Fig 15 DMA-queue trace;
+//              supports a time-weighted mean over the sampled window.
+//
+// Handles returned by counter()/gauge()/series() stay valid for the
+// registry's lifetime (node-stable map storage), so hot paths resolve a
+// metric once and bump it through the pointer.
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netddt::sim {
+
+/// Monotonic counter. Unsigned: it can only go up.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Level gauge with a high-watermark. Signed so transient imbalances in
+/// add/sub ordering cannot wrap; the peak only tracks set()/add().
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    peak_ = std::max(peak_, value_);
+  }
+  void add(std::int64_t n) { set(value_ + n); }
+  void sub(std::int64_t n) { value_ -= n; }
+  std::int64_t value() const { return value_; }
+  std::int64_t peak() const { return peak_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+/// (time, value) sample series.
+class Series {
+ public:
+  void record(Time when, double value) { points_.emplace_back(when, value); }
+  const std::vector<std::pair<Time, double>>& points() const {
+    return points_;
+  }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Mean of the series weighted by how long each value was held,
+  /// treating each sample as valid until the next (or `end` for the
+  /// last). Returns 0 for an empty series.
+  double time_weighted_mean(Time end) const;
+
+ private:
+  std::vector<std::pair<Time, double>> points_;
+};
+
+/// Plain-data copy of a registry's final state; what experiment runs
+/// hand back to benchmarks and tests.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  struct GaugeValue {
+    std::int64_t value = 0;
+    std::int64_t peak = 0;
+  };
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, std::vector<std::pair<Time, double>>> series;
+
+  /// Value of a counter, 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+  /// High-watermark of a gauge, 0 when absent.
+  std::int64_t gauge_peak(const std::string& name) const;
+  bool has_counter(const std::string& name) const {
+    return counters.count(name) != 0;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Series& series(const std::string& name) { return series_[name]; }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  // std::map: deterministic iteration order and node-stable references.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace netddt::sim

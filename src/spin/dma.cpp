@@ -5,15 +5,27 @@
 
 namespace netddt::spin {
 
+DmaEngine::DmaEngine(sim::Engine& engine, const CostModel& cost,
+                     std::span<std::byte> host_memory,
+                     sim::MetricsRegistry* metrics)
+    : engine_(&engine), cost_(&cost), host_(host_memory) {
+  if (metrics == nullptr) {
+    local_metrics_ = std::make_unique<sim::MetricsRegistry>();
+    metrics = local_metrics_.get();
+  }
+  writes_ = &metrics->counter("nic.dma.writes");
+  bytes_ = &metrics->counter("nic.dma.bytes");
+  depth_ = &metrics->gauge("nic.dma.queue_depth");
+  trace_ = &metrics->series("nic.dma.queue_depth.trace");
+}
+
 void DmaEngine::sample() {
   // Occupancy counts every request issued but not yet landed in host
   // memory — queued at the engine, in service, or in the PCIe posted-
   // write window. This matches the paper's Fig 14/15 "DMA write
   // requests queue" semantics.
-  max_depth_ = std::max(max_depth_, static_cast<std::size_t>(pending_));
   if (trace_enabled_) {
-    trace_.emplace_back(engine_->now(),
-                        static_cast<std::size_t>(pending_));
+    trace_->record(engine_->now(), static_cast<double>(depth_->value()));
   }
 }
 
@@ -27,7 +39,7 @@ void DmaEngine::write_at(sim::Time when, std::int64_t host_off,
                          std::uint64_t msg_id) {
   assert(when >= engine_->now());
   engine_->schedule_at(when, [this, host_off, src, signal_event, msg_id] {
-    ++pending_;
+    depth_->add(1);
     queue_.push_back(Request{host_off, src, signal_event, msg_id});
     sample();
     if (!busy_) start_next();
@@ -56,10 +68,10 @@ void DmaEngine::start_next() {
         std::memcpy(host_.data() + req.host_off, req.src.data(),
                     req.src.size());
       }
-      ++total_writes_;
-      total_bytes_ += req.src.size();
-      assert(pending_ > 0);
-      --pending_;
+      writes_->add(1);
+      bytes_->add(req.src.size());
+      assert(depth_->value() > 0);
+      depth_->sub(1);
       sample();
       last_completion_ = engine_->now();
       if (req.signal_event && on_complete_) {

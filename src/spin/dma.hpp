@@ -5,16 +5,20 @@
 // the engine services them in order: each request costs a fixed per-
 // request overhead plus payload / PCIe bandwidth, and lands in host
 // memory one PCIe write latency after service. Queue occupancy is
-// tracked over time — that is the data behind Fig 14 and Fig 15.
+// tracked over time — that is the data behind Fig 14 and Fig 15 — and
+// published into the metrics registry under the "nic.dma" scope.
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "spin/cost_model.hpp"
 
 namespace netddt::spin {
@@ -25,9 +29,11 @@ class DmaEngine {
   using CompletionFn =
       std::function<void(std::uint64_t msg_id, sim::Time when)>;
 
+  /// Counters/gauges go into `metrics` under "nic.dma"; a standalone
+  /// engine (tests) may pass nullptr and gets a private registry.
   DmaEngine(sim::Engine& engine, const CostModel& cost,
-            std::span<std::byte> host_memory)
-      : engine_(&engine), cost_(&cost), host_(host_memory) {}
+            std::span<std::byte> host_memory,
+            sim::MetricsRegistry* metrics = nullptr);
 
   void set_completion_callback(CompletionFn fn) { on_complete_ = std::move(fn); }
 
@@ -45,18 +51,23 @@ class DmaEngine {
                 std::span<const std::byte> src, bool signal_event,
                 std::uint64_t msg_id);
 
-  std::uint64_t total_writes() const { return total_writes_; }
-  std::uint64_t total_bytes() const { return total_bytes_; }
-  std::size_t queue_depth() const { return queue_.size(); }
-  std::size_t max_queue_depth() const { return max_depth_; }
-  /// (time, depth) samples taken at every enqueue/dequeue: Fig 15.
-  const std::vector<std::pair<sim::Time, std::size_t>>& depth_trace() const {
-    return trace_;
+  std::uint64_t total_writes() const { return writes_->value(); }
+  std::uint64_t total_bytes() const { return bytes_->value(); }
+  std::size_t queue_depth() const {
+    return static_cast<std::size_t>(depth_->value());
+  }
+  std::size_t max_queue_depth() const {
+    return static_cast<std::size_t>(depth_->peak());
+  }
+  /// (time, depth) samples taken at every enqueue/dequeue: Fig 15. Only
+  /// recorded while tracing is enabled.
+  const std::vector<std::pair<sim::Time, double>>& depth_trace() const {
+    return trace_->points();
   }
   void enable_trace(bool on) { trace_enabled_ = on; }
   sim::Time last_completion() const { return last_completion_; }
   /// True once every enqueued request has landed in host memory.
-  bool drained() const { return pending_ == 0; }
+  bool drained() const { return depth_->value() == 0; }
 
  private:
   struct Request {
@@ -75,13 +86,14 @@ class DmaEngine {
   CompletionFn on_complete_;
   std::deque<Request> queue_;
   bool busy_ = false;
-  std::uint64_t total_writes_ = 0;
-  std::uint64_t total_bytes_ = 0;
-  std::size_t max_depth_ = 0;
   bool trace_enabled_ = false;
-  std::vector<std::pair<sim::Time, std::size_t>> trace_;
   sim::Time last_completion_ = 0;
-  std::uint64_t pending_ = 0;
+
+  std::unique_ptr<sim::MetricsRegistry> local_metrics_;
+  sim::Counter* writes_;   // nic.dma.writes
+  sim::Counter* bytes_;    // nic.dma.bytes
+  sim::Gauge* depth_;      // nic.dma.queue_depth (issued, not yet landed)
+  sim::Series* trace_;     // nic.dma.queue_depth.trace
 };
 
 }  // namespace netddt::spin

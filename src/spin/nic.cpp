@@ -9,13 +9,24 @@ NicModel::NicModel(sim::Engine& engine, Host& host, CostModel cost,
     : engine_(&engine),
       host_(&host),
       cost_(cost),
-      nic_memory_(config.nicmem_bytes),
-      dma_(engine, cost_, host.memory()),
-      scheduler_(engine, config.hpus, cost_) {
+      nic_memory_(config.nicmem_bytes, &metrics_),
+      dma_(engine, cost_, host.memory(), &metrics_),
+      scheduler_(engine, config.hpus, cost_, &metrics_) {
   dma_.set_completion_callback(
       [this](std::uint64_t msg_id, sim::Time when) {
         on_final_dma(msg_id, when);
       });
+  pkt_buffer_ = &metrics_.gauge("nic.pktbuf.occupancy");
+  pkts_delivered_ = &metrics_.counter("nic.pkts.delivered");
+  pkts_matched_ = &metrics_.counter("nic.pkts.matched");
+  pkts_dropped_ = &metrics_.counter("nic.pkts.dropped");
+  pkts_deferred_ = &metrics_.counter("nic.pkts.deferred");
+  handler_invocations_ = &metrics_.counter("nic.handler.invocations");
+  handler_completions_ = &metrics_.counter("nic.handler.completions");
+  handler_init_ = &metrics_.counter("nic.handler.init_time_ps");
+  handler_setup_ = &metrics_.counter("nic.handler.setup_time_ps");
+  handler_processing_ = &metrics_.counter("nic.handler.processing_time_ps");
+  msgs_completed_ = &metrics_.counter("nic.msgs.completed");
 }
 
 ExecutionContext* NicModel::register_context(ExecutionContext ctx) {
@@ -29,6 +40,7 @@ const NicModel::MsgInfo* NicModel::info(std::uint64_t msg_id) const {
 }
 
 void NicModel::deliver(const p4::Packet& pkt) {
+  pkts_delivered_->add(1);
   auto it = msgs_.find(pkt.msg_id);
   if (it == msgs_.end()) {
     // First packet of the message: run the matching unit. The network
@@ -37,6 +49,7 @@ void NicModel::deliver(const p4::Packet& pkt) {
     assert(pkt.first && "non-header packet for unknown message");
     auto hit = match_list_.match(pkt.match_bits);
     if (!hit) {
+      pkts_dropped_->add(1);
       host_->events().post(p4::Event{p4::EventKind::kDropped, pkt.msg_id, 0,
                                      engine_->now()});
       return;
@@ -51,6 +64,7 @@ void NicModel::deliver(const p4::Packet& pkt) {
   }
 
   MsgState& st = it->second;
+  pkts_matched_->add(1);
   st.info.last_packet = engine_->now();
   st.info.bytes += pkt.payload_bytes;
   ++st.info.packets;
@@ -82,6 +96,7 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
   // packets re-enter the dispatch path (paying the HER generation cost
   // again — the scheduler re-examines them).
   if (st.ctx->header != nullptr && !st.header_done && !pkt.first) {
+    pkts_deferred_->add(1);
     st.deferred.push_back(pkt);
     return;
   }
@@ -101,8 +116,7 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
     ++st.outstanding;
     // The packet occupies the staging buffer from arrival until its
     // handler completes.
-    pkt_buffer_.occupancy += pkt.payload_bytes;
-    pkt_buffer_.peak = std::max(pkt_buffer_.peak, pkt_buffer_.occupancy);
+    pkt_buffer_->add(pkt.payload_bytes);
     const p4::Packet pkt_copy = pkt;
     engine_->schedule(her_ready, [this, &st, pkt_copy, run_header,
                                   run_payload] {
@@ -129,13 +143,21 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
             st.info.init_time += meter.phase(Phase::kInit);
             st.info.setup_time += meter.phase(Phase::kSetup);
             st.info.processing_time += meter.phase(Phase::kProcessing);
+            handler_invocations_->add(1);
+            handler_init_->add(
+                static_cast<std::uint64_t>(meter.phase(Phase::kInit)));
+            handler_setup_->add(
+                static_cast<std::uint64_t>(meter.phase(Phase::kSetup)));
+            handler_processing_->add(
+                static_cast<std::uint64_t>(meter.phase(Phase::kProcessing)));
             // Handler-completion bookkeeping happens at simulated end.
             const std::uint32_t staged = pkt_copy.payload_bytes;
             engine_->schedule(runtime, [this, &st, staged, run_header] {
               assert(st.outstanding > 0);
               --st.outstanding;
-              assert(pkt_buffer_.occupancy >= staged);
-              pkt_buffer_.occupancy -= staged;
+              assert(pkt_buffer_->value() >=
+                     static_cast<std::int64_t>(staged));
+              pkt_buffer_->sub(staged);
               if (run_header && !st.header_done) {
                 // The header handler finished: release deferred packets.
                 st.header_done = true;
@@ -188,6 +210,7 @@ void NicModel::maybe_dispatch_completion(MsgState& st) {
         HandlerArgs args{completion_pkt, st.entry.buffer_offset, meter,
                          issuer};
         st.ctx->completion(args);
+        handler_completions_->add(1);
         return meter.total();
       });
 }
@@ -198,6 +221,7 @@ void NicModel::on_final_dma(std::uint64_t msg_id, sim::Time when) {
   MsgState& st = it->second;
   st.info.unpack_done = when;
   st.info.done = true;
+  msgs_completed_->add(1);
   scheduler_.release_message(msg_id);
   const auto kind = st.list == p4::ListKind::kOverflow
                         ? p4::EventKind::kPutOverflow

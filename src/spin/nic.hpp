@@ -13,6 +13,7 @@
 #include "p4/match.hpp"
 #include "p4/packet.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "spin/cost_model.hpp"
 #include "spin/dma.hpp"
 #include "spin/handler.hpp"
@@ -43,7 +44,8 @@ struct NicConfig {
 /// Packet staging buffer: packets copied into NIC memory wait here from
 /// HER creation until their handler finishes (paper Sec 3.2.4's B_pkt).
 /// The model tracks occupancy so the checkpoint-interval heuristic's
-/// third constraint is observable; it does not drop packets.
+/// third constraint is observable; it does not drop packets. Backed by
+/// the "nic.pktbuf.occupancy" gauge.
 struct PacketBufferStats {
   std::uint64_t occupancy = 0;  // bytes currently staged
   std::uint64_t peak = 0;
@@ -61,6 +63,10 @@ class NicModel {
   sim::Engine& engine() { return *engine_; }
   const CostModel& cost() const { return cost_; }
   Host& host() { return *host_; }
+  /// The registry all NIC-layer components (inbound engine, scheduler,
+  /// DMA queue, NIC memory) and the offload strategies publish into.
+  sim::MetricsRegistry& metrics() { return metrics_; }
+  const sim::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Register an execution context; the returned pointer goes into
   /// MatchEntry::context and stays valid for the NIC's lifetime.
@@ -84,7 +90,11 @@ class NicModel {
     sim::Time processing_time = 0;
   };
   const MsgInfo* info(std::uint64_t msg_id) const;
-  const PacketBufferStats& packet_buffer() const { return pkt_buffer_; }
+  PacketBufferStats packet_buffer() const {
+    return PacketBufferStats{
+        static_cast<std::uint64_t>(pkt_buffer_->value()),
+        static_cast<std::uint64_t>(pkt_buffer_->peak())};
+  }
 
  private:
   struct MsgState {
@@ -112,13 +122,26 @@ class NicModel {
   sim::Engine* engine_;
   Host* host_;
   CostModel cost_;
+  // Declared before the components that publish into it.
+  sim::MetricsRegistry metrics_;
   p4::MatchList match_list_;
   NicMemory nic_memory_;
   DmaEngine dma_;
   Scheduler scheduler_;
   std::vector<std::unique_ptr<ExecutionContext>> contexts_;
   std::unordered_map<std::uint64_t, MsgState> msgs_;
-  PacketBufferStats pkt_buffer_;
+
+  sim::Gauge* pkt_buffer_;        // nic.pktbuf.occupancy (bytes)
+  sim::Counter* pkts_delivered_;  // nic.pkts.delivered
+  sim::Counter* pkts_matched_;    // nic.pkts.matched
+  sim::Counter* pkts_dropped_;    // nic.pkts.dropped
+  sim::Counter* pkts_deferred_;   // nic.pkts.deferred (header HB rule)
+  sim::Counter* handler_invocations_;  // nic.handler.invocations
+  sim::Counter* handler_completions_;  // nic.handler.completions
+  sim::Counter* handler_init_;         // nic.handler.init_time_ps
+  sim::Counter* handler_setup_;        // nic.handler.setup_time_ps
+  sim::Counter* handler_processing_;   // nic.handler.processing_time_ps
+  sim::Counter* msgs_completed_;       // nic.msgs.completed
 };
 
 }  // namespace netddt::spin

@@ -6,12 +6,16 @@
 // ordinary C++ objects; this class models the *capacity* so strategies
 // can fail allocation, fall back, or evict (the MPI facade's LRU victim
 // selection, paper Sec 3.2.6), and so benchmarks can report occupancy
-// (paper Fig 13b/c).
+// (paper Fig 13b/c). Occupancy and allocation outcomes are published
+// under the "nic.mem" metrics scope.
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+
+#include "sim/metrics.hpp"
 
 namespace netddt::spin {
 
@@ -20,16 +24,30 @@ class NicMemory {
   using Handle = std::uint64_t;
   static constexpr Handle kInvalid = 0;
 
-  explicit NicMemory(std::uint64_t capacity_bytes)
-      : capacity_(capacity_bytes) {}
+  /// Publishes under "nic.mem"; nullptr gets a private registry.
+  explicit NicMemory(std::uint64_t capacity_bytes,
+                     sim::MetricsRegistry* metrics = nullptr)
+      : capacity_(capacity_bytes) {
+    if (metrics == nullptr) {
+      local_metrics_ = std::make_unique<sim::MetricsRegistry>();
+      metrics = local_metrics_.get();
+    }
+    used_ = &metrics->gauge("nic.mem.used");
+    allocs_ = &metrics->counter("nic.mem.allocs");
+    alloc_failures_ = &metrics->counter("nic.mem.alloc_failures");
+    frees_ = &metrics->counter("nic.mem.frees");
+  }
 
   /// Reserve `bytes`; returns kInvalid when it does not fit.
   Handle alloc(std::uint64_t bytes, std::string tag = {}) {
-    if (bytes > capacity_ - used_) return kInvalid;
+    if (bytes > capacity_ - used()) {
+      alloc_failures_->add(1);
+      return kInvalid;
+    }
     const Handle h = next_++;
     blocks_.emplace(h, Block{bytes, std::move(tag)});
-    used_ += bytes;
-    peak_ = std::max(peak_, used_);
+    used_->add(static_cast<std::int64_t>(bytes));
+    allocs_->add(1);
     return h;
   }
 
@@ -37,7 +55,8 @@ class NicMemory {
     if (h == kInvalid) return;
     auto it = blocks_.find(h);
     assert(it != blocks_.end() && "double free of NIC memory");
-    used_ -= it->second.bytes;
+    used_->sub(static_cast<std::int64_t>(it->second.bytes));
+    frees_->add(1);
     blocks_.erase(it);
   }
 
@@ -47,9 +66,13 @@ class NicMemory {
   }
 
   std::uint64_t capacity() const { return capacity_; }
-  std::uint64_t used() const { return used_; }
-  std::uint64_t peak() const { return peak_; }
-  std::uint64_t available() const { return capacity_ - used_; }
+  std::uint64_t used() const {
+    return static_cast<std::uint64_t>(used_->value());
+  }
+  std::uint64_t peak() const {
+    return static_cast<std::uint64_t>(used_->peak());
+  }
+  std::uint64_t available() const { return capacity_ - used(); }
   std::size_t allocations() const { return blocks_.size(); }
 
  private:
@@ -58,10 +81,14 @@ class NicMemory {
     std::string tag;
   };
   std::uint64_t capacity_;
-  std::uint64_t used_ = 0;
-  std::uint64_t peak_ = 0;
   Handle next_ = 1;
   std::unordered_map<Handle, Block> blocks_;
+
+  std::unique_ptr<sim::MetricsRegistry> local_metrics_;
+  sim::Gauge* used_;              // nic.mem.used
+  sim::Counter* allocs_;          // nic.mem.allocs
+  sim::Counter* alloc_failures_;  // nic.mem.alloc_failures
+  sim::Counter* frees_;           // nic.mem.frees
 };
 
 }  // namespace netddt::spin

@@ -37,7 +37,9 @@ void Scheduler::dispatch() {
       Task task = std::move(v.queue.front());
       v.queue.pop_front();
       ++busy_;
+      busy_hpus_->set(busy_);
       // Re-dispatching a yielded vHPU costs a context switch.
+      vhpu_switches_->add(1);
       const sim::Time switch_cost = cost_->vhpu_switch;
       engine_->schedule(switch_cost,
                         [this, task = std::move(task), owner = &v]() mutable {
@@ -45,6 +47,7 @@ void Scheduler::dispatch() {
                         });
     } else {
       ++busy_;
+      busy_hpus_->set(busy_);
       run_task(std::move(r.task), nullptr);
     }
   }
@@ -53,8 +56,8 @@ void Scheduler::dispatch() {
 void Scheduler::run_task(Task task, Vhpu* owner) {
   const sim::Time start = engine_->now();
   const sim::Time runtime = task(start);
-  ++handlers_run_;
-  total_handler_time_ += runtime;
+  handlers_run_->add(1);
+  handler_time_->add(static_cast<std::uint64_t>(runtime));
   engine_->schedule(runtime, [this, owner] {
     if (owner != nullptr && !owner->queue.empty()) {
       // The vHPU keeps its HPU while it has pending packets.
@@ -66,6 +69,7 @@ void Scheduler::run_task(Task task, Vhpu* owner) {
     if (owner != nullptr) owner->running = false;
     assert(busy_ > 0);
     --busy_;
+    busy_hpus_->set(busy_);
     dispatch();
   });
 }

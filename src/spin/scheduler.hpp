@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "spin/cost_model.hpp"
 #include "spin/handler.hpp"
 
@@ -27,8 +29,19 @@ class Scheduler {
   /// simulated runtime it charged.
   using Task = std::function<sim::Time(sim::Time start)>;
 
-  Scheduler(sim::Engine& engine, std::uint32_t hpus, const CostModel& cost)
-      : engine_(&engine), cost_(&cost), hpus_(hpus) {}
+  /// Publishes under "nic.sched"; nullptr gets a private registry.
+  Scheduler(sim::Engine& engine, std::uint32_t hpus, const CostModel& cost,
+            sim::MetricsRegistry* metrics = nullptr)
+      : engine_(&engine), cost_(&cost), hpus_(hpus) {
+    if (metrics == nullptr) {
+      local_metrics_ = std::make_unique<sim::MetricsRegistry>();
+      metrics = local_metrics_.get();
+    }
+    handlers_run_ = &metrics->counter("nic.sched.handlers_run");
+    handler_time_ = &metrics->counter("nic.sched.handler_time_ps");
+    vhpu_switches_ = &metrics->counter("nic.sched.vhpu_switches");
+    busy_hpus_ = &metrics->gauge("nic.sched.busy_hpus");
+  }
 
   /// Enqueue a handler for packet `pkt_index` of message `msg_id` under
   /// `policy` at the current simulated time.
@@ -38,8 +51,10 @@ class Scheduler {
   std::uint32_t hpus() const { return hpus_; }
   std::uint32_t busy() const { return busy_; }
   bool idle() const { return busy_ == 0 && ready_.empty(); }
-  std::uint64_t handlers_run() const { return handlers_run_; }
-  sim::Time total_handler_time() const { return total_handler_time_; }
+  std::uint64_t handlers_run() const { return handlers_run_->value(); }
+  sim::Time total_handler_time() const {
+    return static_cast<sim::Time>(handler_time_->value());
+  }
 
   /// Drop per-message vHPU state once a message completes.
   void release_message(std::uint64_t msg_id) { vhpus_.erase(msg_id); }
@@ -64,8 +79,12 @@ class Scheduler {
   std::uint32_t busy_ = 0;
   std::deque<Runnable> ready_;
   std::unordered_map<std::uint64_t, std::vector<Vhpu>> vhpus_;
-  std::uint64_t handlers_run_ = 0;
-  sim::Time total_handler_time_ = 0;
+
+  std::unique_ptr<sim::MetricsRegistry> local_metrics_;
+  sim::Counter* handlers_run_;   // nic.sched.handlers_run
+  sim::Counter* handler_time_;   // nic.sched.handler_time_ps
+  sim::Counter* vhpu_switches_;  // nic.sched.vhpu_switches
+  sim::Gauge* busy_hpus_;        // nic.sched.busy_hpus
 };
 
 }  // namespace netddt::spin

@@ -286,5 +286,94 @@ INSTANTIATE_TEST_SUITE_P(
                                          StrategyKind::kIovec),
                        ::testing::Values(16, 64, 256, 2048, 16384)));
 
+// Every strategy must leave a queryable trail in the metrics registry:
+// NIC-layer counters (packets matched, handler invocations, DMA queue
+// high-watermark) plus the strategy-specific offload counters.
+class MetricsPerStrategy : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(MetricsPerStrategy, NicCountersNonZero) {
+  const StrategyKind kind = GetParam();
+  auto cfg = base_config(vec_type(1024, 256, 512), kind);
+  cfg.verify = false;
+  const auto run = run_receive(cfg);
+  const sim::MetricsSnapshot& m = run.metrics;
+
+  EXPECT_GT(m.counter("nic.pkts.delivered"), 0u);
+  EXPECT_GT(m.counter("nic.pkts.matched"), 0u);
+  EXPECT_GT(m.counter("nic.dma.writes"), 0u);
+  EXPECT_GT(m.gauge_peak("nic.dma.queue_depth"), 0);
+  EXPECT_GT(m.counter("nic.msgs.completed"), 0u);
+  if (kind == StrategyKind::kSpecialized || kind == StrategyKind::kHpuLocal ||
+      kind == StrategyKind::kRoCp || kind == StrategyKind::kRwCp) {
+    // These strategies park descriptor state in NIC memory.
+    EXPECT_GT(m.gauge_peak("nic.mem.used"), 0);
+  }
+  if (kind != StrategyKind::kHostUnpack) {
+    EXPECT_GT(m.counter("nic.handler.invocations"), 0u);
+    EXPECT_EQ(m.counter("nic.handler.invocations"), run.result.handlers);
+    EXPECT_GT(m.counter("nic.sched.handlers_run"), 0u);
+    EXPECT_GT(m.gauge_peak("nic.pktbuf.occupancy"), 0);
+  }
+  // Snapshot-backed fields agree with the struct view.
+  EXPECT_EQ(m.counter("nic.dma.writes"), run.result.dma_writes);
+  EXPECT_EQ(static_cast<std::size_t>(m.gauge_peak("nic.dma.queue_depth")),
+            run.result.dma_queue_peak);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, MetricsPerStrategy,
+                         ::testing::Values(StrategyKind::kHostUnpack,
+                                           StrategyKind::kSpecialized,
+                                           StrategyKind::kHpuLocal,
+                                           StrategyKind::kRoCp,
+                                           StrategyKind::kRwCp,
+                                           StrategyKind::kIovec));
+
+TEST(Metrics, RoCpCountsCheckpointCopies) {
+  auto cfg = base_config(vec_type(1024, 256, 512), StrategyKind::kRoCp);
+  cfg.verify = false;
+  const auto run = run_receive(cfg);
+  // RO-CP copies a checkpoint locally in EVERY payload handler.
+  EXPECT_EQ(run.metrics.counter("offload.checkpoint.copies"),
+            run.result.handlers);
+  EXPECT_GT(run.metrics.counter("offload.checkpoints"), 0u);
+}
+
+TEST(Metrics, RwCpCountsRollbacksUnderOutOfOrderDelivery) {
+  auto in_order = base_config(vec_type(16384, 64, 128), StrategyKind::kRwCp);
+  auto ooo = in_order;
+  ooo.ooo_window = 8;
+  ooo.seed = 7;
+  const auto a = run_receive(in_order);
+  const auto b = run_receive(ooo);
+  EXPECT_EQ(a.metrics.counter("offload.rollbacks"), 0u);
+  EXPECT_GT(b.metrics.counter("offload.rollbacks"), 0u);
+  // Each rollback restores the master checkpoint (a copy).
+  EXPECT_EQ(b.metrics.counter("offload.checkpoint.copies"),
+            b.metrics.counter("offload.rollbacks"));
+  EXPECT_TRUE(b.result.verified);
+}
+
+TEST(Metrics, HpuLocalCountsSegmentResetsUnderOutOfOrderDelivery) {
+  // 4 HPUs with a 16-slot shuffle window: each window holds 4 packets of
+  // every vHPU, so per-vHPU streams really do arrive backwards.
+  auto cfg = base_config(vec_type(8192, 64, 128), StrategyKind::kHpuLocal);
+  cfg.hpus = 4;
+  cfg.ooo_window = 16;
+  cfg.seed = 7;
+  const auto run = run_receive(cfg);
+  EXPECT_GT(run.metrics.counter("offload.segment_resets"), 0u);
+  EXPECT_TRUE(run.result.verified);
+}
+
+TEST(Metrics, CheckpointIntervalPublished) {
+  auto cfg = base_config(vec_type(4096, 128, 256), StrategyKind::kRwCp);
+  cfg.verify = false;
+  const auto run = run_receive(cfg);
+  EXPECT_EQ(run.metrics.counter("offload.checkpoint.interval_bytes"),
+            run.result.checkpoint_interval);
+  EXPECT_EQ(run.metrics.counter("offload.checkpoints"),
+            run.result.checkpoints);
+}
+
 }  // namespace
 }  // namespace netddt::offload

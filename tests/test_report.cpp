@@ -1,0 +1,156 @@
+// Tests for the experiment harness: human_bytes formatting, the Json
+// document model, parameter echoing, and a golden-style check of the
+// schema-versioned report document produced by a tiny Fig-8 sweep.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/lib/experiment.hpp"
+#include "bench/lib/report.hpp"
+#include "ddt/datatype.hpp"
+#include "offload/runner.hpp"
+
+namespace netddt::bench {
+namespace {
+
+TEST(HumanBytes, PlainBytes) {
+  EXPECT_EQ(human_bytes(0), "0B");
+  EXPECT_EQ(human_bytes(512), "512B");
+  EXPECT_EQ(human_bytes(1023), "1023B");
+}
+
+TEST(HumanBytes, KibAndMib) {
+  EXPECT_EQ(human_bytes(1024), "1.0KiB");
+  EXPECT_EQ(human_bytes(2048), "2.0KiB");
+  EXPECT_EQ(human_bytes(1.5 * (1 << 20)), "1.5MiB");
+}
+
+TEST(HumanBytes, GibRangeRegression) {
+  // Regression: values in [1 GiB, 1 TiB) used to fall through to the
+  // MiB branch and print e.g. "3200.0MiB".
+  EXPECT_EQ(human_bytes(static_cast<double>(1ull << 30)), "1.0GiB");
+  // 20480 x 20480 doubles, the Fig 19 FFT2D matrix.
+  EXPECT_EQ(human_bytes(20480.0 * 20480.0 * 8.0), "3.1GiB");
+  EXPECT_EQ(human_bytes(static_cast<double>(1ull << 40)), "1.0TiB");
+}
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json{true}.dump(0), "true");
+  EXPECT_EQ(Json{42}.dump(0), "42");
+  EXPECT_EQ(Json{-7}.dump(0), "-7");
+  EXPECT_EQ(Json{1.5}.dump(0), "1.5");
+  EXPECT_EQ(Json{"hi"}.dump(0), "\"hi\"");
+  EXPECT_EQ(Json{}.dump(0), "null");
+}
+
+TEST(Json, IntAndDoubleAreDistinctKinds) {
+  // Counters must serialize as integers, not "2.000000".
+  EXPECT_EQ(Json{std::uint64_t{2}}.kind(), Json::Kind::kInt);
+  EXPECT_EQ(Json{2.0}.kind(), Json::Kind::kDouble);
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json o = Json::object();
+  o["zeta"] = Json{1};
+  o["alpha"] = Json{2};
+  EXPECT_EQ(o.dump(0), "{\"zeta\":1,\"alpha\":2}");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,\"x\\n\\\"y\\\"\",true,null],\"b\":{\"c\":-3}}";
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(0), text);
+  // Int / double kinds survive the trip.
+  EXPECT_EQ(parsed->find("a")->at(0).kind(), Json::Kind::kInt);
+  EXPECT_EQ(parsed->find("a")->at(1).kind(), Json::Kind::kDouble);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("[1,2] trailing").has_value());
+  EXPECT_FALSE(Json::parse("").has_value());
+}
+
+TEST(Params, OverridesAndEchoesIntoReport) {
+  Params p;
+  p.blocks = 64;
+  Report r("x", "t");
+  p.bind(&r);
+  EXPECT_EQ(p.blocks_or(128), 64u);   // override wins
+  EXPECT_EQ(p.seed_or(17), 17u);      // default echoed too
+  const Json j = r.to_json();
+  const Json* params = j.find("parameters");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->find("blocks")->as_int(), 64);
+  EXPECT_EQ(params->find("seed")->as_int(), 17);
+}
+
+// A miniature Fig-8-style sweep: unpack a strided vector at two block
+// sizes, fill a Report the way the figure binaries do, and wrap it in
+// the --json document.
+Json tiny_fig8_document() {
+  Report report("fig08_tiny", "unpack throughput (tiny)");
+  report.param("seed", Json{17});
+  auto& t = report.table("throughput", {"block", "Gbit/s"});
+  for (std::int64_t block : {128, 2048}) {
+    offload::ReceiveConfig cfg;
+    cfg.type = ddt::Datatype::hvector((1 << 18) / block, block, 2 * block,
+                                      ddt::Datatype::int8());
+    cfg.strategy = offload::StrategyKind::kSpecialized;
+    cfg.seed = 17;
+    const auto run = offload::run_receive(cfg);
+    report.counters(run.metrics);
+    t.row({cell(block), cell(run.result.throughput_gbps(), 2)});
+  }
+  std::vector<Json> entries;
+  entries.push_back(report.to_json());
+  return make_document(entries);
+}
+
+TEST(ReportDocument, GoldenSchemaShape) {
+  const Json doc = tiny_fig8_document();
+  EXPECT_EQ(doc.find("schema_version")->as_int(), kSchemaVersion);
+  EXPECT_EQ(doc.find("generator")->as_string(), "netddt_bench");
+
+  const Json* experiments = doc.find("experiments");
+  ASSERT_NE(experiments, nullptr);
+  ASSERT_EQ(experiments->size(), 1u);
+  const Json& e = experiments->at(0);
+  EXPECT_EQ(e.find("id")->as_string(), "fig08_tiny");
+  EXPECT_EQ(e.find("parameters")->find("seed")->as_int(), 17);
+
+  // Table shape: every row has exactly one value per column.
+  const Json& table = e.find("tables")->at(0);
+  const std::size_t ncols = table.find("columns")->size();
+  EXPECT_EQ(ncols, 2u);
+  ASSERT_EQ(table.find("rows")->size(), 2u);
+  for (const Json& row : table.find("rows")->items()) {
+    EXPECT_EQ(row.size(), ncols);
+  }
+
+  // NIC counters from the merged snapshots are present and non-zero.
+  const Json* counters = e.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GT(counters->find("nic.dma.writes")->as_int(), 0);
+  EXPECT_GT(counters->find("nic.pkts.delivered")->as_int(), 0);
+  const Json* gauges = e.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_GT(gauges->find("nic.dma.queue_depth.peak")->as_int(), 0);
+}
+
+TEST(ReportDocument, DeterministicAndRoundTrips) {
+  const std::string a = tiny_fig8_document().dump();
+  const std::string b = tiny_fig8_document().dump();
+  EXPECT_EQ(a, b);  // same seed -> byte-identical document
+
+  auto parsed = Json::parse(a);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), a);  // parser round-trips dump() exactly
+}
+
+}  // namespace
+}  // namespace netddt::bench

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -77,6 +78,86 @@ TEST(Engine, RunUntilStopsAtDeadline) {
   EXPECT_EQ(eng.pending(), 1u);
   eng.run();
   EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilAdvancesClockToDeadline) {
+  // Regression: with a non-empty queue whose next event lies PAST the
+  // deadline, run_until must still advance now() to the deadline (it
+  // used to leave the clock wherever the last executed event ended).
+  Engine eng;
+  int fired = 0;
+  eng.schedule(ns(100), [&] { ++fired; });
+  EXPECT_EQ(eng.run_until(ns(40)), ns(40));
+  EXPECT_EQ(eng.now(), ns(40));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(eng.pending(), 1u);
+  // A second slice up to the event's time runs it exactly once.
+  EXPECT_EQ(eng.run_until(ns(100)), ns(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(Engine, RunUntilIdempotentOnEmptyQueue) {
+  Engine eng;
+  EXPECT_EQ(eng.run_until(ns(7)), ns(7));
+  EXPECT_EQ(eng.run_until(ns(7)), ns(7));  // same deadline: no movement
+  EXPECT_EQ(eng.now(), ns(7));
+}
+
+TEST(Engine, TracksMaxPendingHighWatermark) {
+  Engine eng;
+  eng.schedule(ns(1), [] {});
+  eng.schedule(ns(2), [] {});
+  eng.schedule(ns(3), [] {});
+  EXPECT_EQ(eng.max_pending(), 3u);
+  eng.run();
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_EQ(eng.max_pending(), 3u);  // watermark survives the drain
+}
+
+TEST(Metrics, CounterIsMonotonic) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.b");
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&reg.counter("a.b"), &c);
+}
+
+TEST(Metrics, GaugeTracksPeak) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("q");
+  g.add(5);
+  g.add(7);
+  g.sub(10);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.peak(), 12);
+  g.set(100);
+  EXPECT_EQ(g.peak(), 100);
+}
+
+TEST(Metrics, SeriesTimeWeightedMean) {
+  MetricsRegistry reg;
+  Series& s = reg.series("depth");
+  s.record(0, 2.0);    // held for 10
+  s.record(10, 6.0);   // held for 10
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(20), 4.0);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Metrics, SnapshotIsDetachedCopy) {
+  MetricsRegistry reg;
+  reg.counter("c").add(2);
+  reg.gauge("g").set(9);
+  MetricsSnapshot snap = reg.snapshot();
+  reg.counter("c").add(40);  // must not affect the snapshot
+  EXPECT_EQ(snap.counter("c"), 2u);
+  EXPECT_EQ(snap.gauge_peak("g"), 9);
+  EXPECT_TRUE(snap.has_counter("c"));
+  EXPECT_FALSE(snap.has_counter("missing"));
+  EXPECT_EQ(snap.counter("missing"), 0u);
 }
 
 TEST(Engine, NegativeDelayClampsToNow) {
