@@ -46,9 +46,13 @@ NETDDT_EXPERIMENT(fig08,
       cfg.hpus = hpus;
       cfg.seed = seed;
       cfg.verify = false;  // correctness covered by the test suite
-      const auto run = offload::run_receive(cfg);
+      cfg.trace = params.trace_config();
+      auto run = offload::run_receive(cfg);
       row.push_back(bench::cell(run.result.throughput_gbps(), 1));
       report.counters(run.metrics);
+      params.observe(report, std::move(run.tracer),
+                     "fig08/" + std::string(strategy_name(kind)) + "/b" +
+                         std::to_string(block));
     }
     t.row(std::move(row));
   }

@@ -37,9 +37,13 @@ NETDDT_EXPERIMENT(fig12,
       cfg.strategy = kind;
       cfg.hpus = hpus;
       cfg.verify = false;
-      const auto run = offload::run_receive(cfg);
+      cfg.trace = params.trace_config();
+      auto run = offload::run_receive(cfg);
       const auto& r = run.result;
       report.counters(run.metrics);
+      params.observe(report, std::move(run.tracer),
+                     "fig12/" + std::string(strategy_name(kind)) + "/g" +
+                         std::to_string(gamma));
       t.row({bench::cell(gamma), bench::cell(sim::to_us(r.handler_init), 3),
              bench::cell(sim::to_us(r.handler_setup), 3),
              bench::cell(sim::to_us(r.handler_processing), 3),

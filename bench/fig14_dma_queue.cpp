@@ -36,10 +36,14 @@ NETDDT_EXPERIMENT(fig14, "max DMA queue occupancy vs regions/packet") {
       cfg.strategy = kind;
       cfg.hpus = hpus;
       cfg.verify = false;
-      const auto run = offload::run_receive(cfg);
+      cfg.trace = params.trace_config();
+      auto run = offload::run_receive(cfg);
       report.counters(run.metrics);
       row.push_back(bench::cell(run.result.dma_queue_peak));
       total = run.result.dma_writes;
+      params.observe(report, std::move(run.tracer),
+                     "fig14/" + std::string(strategy_name(kind)) + "/g" +
+                         std::to_string(gamma));
     }
     row.push_back(bench::cell(total));
     t.row(std::move(row));

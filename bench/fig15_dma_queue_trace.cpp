@@ -31,9 +31,15 @@ NETDDT_EXPERIMENT(fig15,
     cfg.strategy = kind;
     cfg.hpus = params.hpus_or(16);
     cfg.verify = false;
-    cfg.trace_dma = true;
-    const auto run = offload::run_receive(cfg);
+    // The downsampled occupancy table below is built from the event
+    // trace, so events are always on for this figure; --trace/
+    // --percentiles additionally export/summarize it.
+    cfg.trace = params.trace_config();
+    cfg.trace.events = true;
+    auto run = offload::run_receive(cfg);
     report.counters(run.metrics);
+    params.observe(report, std::move(run.tracer),
+                   "fig15/" + std::string(strategy_name(kind)));
 
     // Downsample the trace into 16 buckets of max occupancy.
     const auto& trace = run.dma_trace;

@@ -49,6 +49,9 @@ void usage(const char* argv0) {
       "  --seed N        override the experiment seed\n"
       "  --line-rate G   override the link rate (Gbit/s)\n"
       "  --json PATH     write the machine-readable report\n"
+      "  --trace PATH    write a Chrome trace-event JSON (Perfetto)\n"
+      "  --trace-limit N cap recorded events per run (default 1048576)\n"
+      "  --percentiles   report per-stage latency percentiles\n"
       "  --smoke         trimmed sweeps (fast CI mode)\n"
       "  --list          print registered experiments and exit\n"
       "  --only a,b,c    run only the named experiments\n",
@@ -137,6 +140,17 @@ int bench_main(int argc, char** argv) {
       const char* v = next();
       ok = v != nullptr;
       if (ok) json_path = v;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) params.trace_path = v;
+    } else if (std::strcmp(arg, "--trace-limit") == 0) {
+      const char* v = next();
+      std::uint64_t n = 0;
+      ok = v != nullptr && parse_u64(v, &n);
+      if (ok) params.trace_limit = n;
+    } else if (std::strcmp(arg, "--percentiles") == 0) {
+      params.percentiles = true;
     } else if (std::strcmp(arg, "--only") == 0) {
       const char* v = next();
       ok = v != nullptr;
@@ -157,6 +171,10 @@ int bench_main(int argc, char** argv) {
       std::printf("%-24s %s\n", e.name.c_str(), e.title.c_str());
     }
     return 0;
+  }
+
+  if (params.trace_path) {
+    params.collector = std::make_shared<sim::trace::Collector>();
   }
 
   std::vector<Json> reports;
@@ -190,6 +208,22 @@ int bench_main(int argc, char** argv) {
     out << doc.dump(2);
     std::printf("\nwrote %s (%zu experiment%s)\n", json_path.c_str(),
                 reports.size(), reports.size() == 1 ? "" : "s");
+  }
+
+  if (params.collector != nullptr) {
+    if (params.collector->empty()) {
+      std::fprintf(stderr,
+                   "--trace: no traced runs (the selected experiments do "
+                   "not wire params.trace_config())\n");
+      return 1;
+    }
+    if (!params.collector->write_file(*params.trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", params.trace_path->c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu traced run%s)\n",
+                params.trace_path->c_str(), params.collector->size(),
+                params.collector->size() == 1 ? "" : "s");
   }
   return 0;
 }

@@ -9,16 +9,23 @@
 // CLI (both standalone and run_all):
 //   --hpus N --epsilon X --blocks N --seed N --line-rate G   overrides
 //   --json PATH    write the schema-versioned JSON document
+//   --trace PATH   write a Chrome trace-event JSON of every run
+//   --trace-limit N  cap the recorded events per run (default 1M)
+//   --percentiles  add per-stage latency percentiles to report + JSON
 //   --smoke        trimmed sweeps (CI)
 //   --list         print registered experiment ids and exit
 //   --only a,b,c   run a subset (run_all)
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/lib/report.hpp"
+#include "sim/trace/chrome.hpp"
+#include "sim/trace/trace.hpp"
 
 namespace netddt::bench {
 
@@ -33,6 +40,12 @@ class Params {
   std::optional<std::uint64_t> seed;
   std::optional<double> line_rate;  // Gbit/s
   bool smoke = false;
+  bool percentiles = false;  // --percentiles
+  std::optional<std::string> trace_path;        // --trace
+  std::optional<std::uint64_t> trace_limit;     // --trace-limit
+  /// Accumulates the tracers of every traced run; bench_main writes it
+  /// to `trace_path` once all experiments finished.
+  std::shared_ptr<sim::trace::Collector> collector;
 
   std::uint32_t hpus_or(std::uint32_t def) const {
     return echo("hpus", hpus.value_or(def));
@@ -48,6 +61,29 @@ class Params {
   }
   double line_rate_or(double def) const {
     return echo("line_rate_gbps", line_rate.value_or(def));
+  }
+
+  /// TraceConfig for a simulation run under the current flags: events
+  /// when --trace was given (stats ride along so the exported document
+  /// carries stage summaries), stats alone for --percentiles, all-off
+  /// otherwise — the zero-cost default.
+  sim::trace::TraceConfig trace_config() const {
+    sim::trace::TraceConfig tc;
+    tc.events = trace_path.has_value();
+    tc.stats = tc.events || percentiles;
+    if (trace_limit) tc.max_events = static_cast<std::size_t>(*trace_limit);
+    return tc;
+  }
+
+  /// Hand a finished run's tracer to the harness: folds the stage
+  /// histograms into the report (--percentiles) and files the event
+  /// timeline under `label` for the trace document (--trace). Accepts
+  /// null (tracing disabled) so call sites stay unconditional.
+  void observe(Report& report, std::unique_ptr<sim::trace::Tracer> tracer,
+               const std::string& label) const {
+    if (tracer == nullptr) return;
+    if (percentiles) report.stage_latencies(*tracer);
+    if (collector != nullptr) collector->add(label, std::move(tracer));
   }
 
   /// Bound to the report of the experiment currently running.

@@ -122,6 +122,13 @@ void Report::counters(const sim::MetricsSnapshot& snap) {
   }
 }
 
+void Report::stage_latencies(const sim::trace::Tracer& tracer) {
+  for (std::size_t i = 0; i < sim::trace::kStageCount; ++i) {
+    stages_[i].merge(tracer.histogram(static_cast<sim::trace::Stage>(i)));
+  }
+  have_stages_ = true;
+}
+
 void Report::print() const {
   std::printf("\n=== %s — %s ===\n", id_.c_str(), title_.c_str());
   if (!params_.empty()) {
@@ -132,6 +139,21 @@ void Report::print() const {
     std::printf("%s\n", line.c_str());
   }
   for (const auto& t : tables_) t.print();
+  if (have_stages_) {
+    std::printf("\nper-stage latency percentiles  (ns, merged over runs)\n");
+    std::printf("  %-16s %10s %12s %12s %12s %12s\n", "stage", "count",
+                "p50", "p90", "p99", "max");
+    for (std::size_t i = 0; i < sim::trace::kStageCount; ++i) {
+      const auto& h = stages_[i];
+      if (h.count() == 0) continue;
+      std::printf("  %-16s %10llu %12.1f %12.1f %12.1f %12.1f\n",
+                  sim::trace::stage_name(static_cast<sim::trace::Stage>(i)),
+                  static_cast<unsigned long long>(h.count()),
+                  h.percentile(50) / 1e3, h.percentile(90) / 1e3,
+                  h.percentile(99) / 1e3,
+                  static_cast<double>(h.max()) / 1e3);
+    }
+  }
   for (const auto& [is_note, text] : blocks_) {
     if (is_note) {
       std::printf("  (%s)\n", text.c_str());
@@ -162,6 +184,23 @@ Json Report::to_json() const {
     if (is_note) notes.push_back(Json{text});
   }
   e["notes"] = std::move(notes);
+  if (have_stages_) {
+    Json stages = Json::object();
+    for (std::size_t i = 0; i < sim::trace::kStageCount; ++i) {
+      const auto& h = stages_[i];
+      Json s = Json::object();
+      s["count"] = Json{static_cast<std::int64_t>(h.count())};
+      s["min_ps"] = Json{h.min()};
+      s["p50_ps"] = Json{h.percentile(50)};
+      s["p90_ps"] = Json{h.percentile(90)};
+      s["p99_ps"] = Json{h.percentile(99)};
+      s["max_ps"] = Json{h.max()};
+      s["mean_ps"] = Json{h.mean()};
+      stages[sim::trace::stage_name(static_cast<sim::trace::Stage>(i))] =
+          std::move(s);
+    }
+    e["percentiles"] = std::move(stages);
+  }
   return e;
 }
 

@@ -16,6 +16,7 @@
 
 #include "bench/lib/json.hpp"
 #include "sim/metrics.hpp"
+#include "sim/trace/trace.hpp"
 
 namespace netddt::bench {
 
@@ -98,6 +99,12 @@ class Report {
   /// once per run; the totals land in the JSON "counters" object.
   void counters(const sim::MetricsSnapshot& snap);
 
+  /// Merge a run's per-stage latency histograms (--percentiles). The
+  /// merged summaries print as their own table and land in the JSON
+  /// under "percentiles" — the key is absent when this was never called,
+  /// keeping default output identical.
+  void stage_latencies(const sim::trace::Tracer& tracer);
+
   void print() const;
   Json to_json() const;
 
@@ -109,6 +116,8 @@ class Report {
   std::vector<std::pair<bool, std::string>> blocks_;  // (is_note, text)
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, std::int64_t> gauge_peaks_;
+  sim::trace::Histogram stages_[sim::trace::kStageCount];
+  bool have_stages_ = false;
 };
 
 }  // namespace netddt::bench

@@ -1,0 +1,292 @@
+// Offline inspector for the Chrome trace-event JSON written by
+// --trace / sim::trace::write_chrome. Validates the document structure
+// (traceEvents array, ph/ts/pid/tid fields, balanced B/E spans per
+// track), prints the per-stage latency summaries embedded under
+// "netddtStages", per-track span statistics recomputed from the events,
+// and a per-packet latency breakdown (arrival -> HER -> handler) for
+// the first packets of each run. Exits nonzero on malformed input so CI
+// can gate on it.
+//
+// usage: trace_inspect FILE [--packets N]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/lib/json.hpp"
+
+using netddt::bench::Json;
+
+namespace {
+
+struct Event {
+  char ph = '?';
+  double ts = 0;  // microseconds
+  int pid = 0;
+  int tid = 0;
+  std::string name;
+  std::int64_t msg = -1;
+  std::int64_t pkt = -1;
+};
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+
+double get_num(const Json& obj, const char* key, double def = 0) {
+  const Json* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : def;
+}
+
+void print_stage_table(const std::string& run, const Json& stages) {
+  std::printf("\n%s  (per-stage latency, us)\n", run.c_str());
+  std::printf("  %-16s %10s %12s %12s %12s %12s\n", "stage", "count", "p50",
+              "p90", "p99", "max");
+  for (const auto& [stage, s] : stages.members()) {
+    if (!s.is_object()) continue;  // dropped_events
+    const auto count = static_cast<std::uint64_t>(get_num(s, "count"));
+    if (count == 0) continue;
+    std::printf("  %-16s %10llu %12.3f %12.3f %12.3f %12.3f\n",
+                stage.c_str(), static_cast<unsigned long long>(count),
+                get_num(s, "p50_ps") / 1e6, get_num(s, "p90_ps") / 1e6,
+                get_num(s, "p99_ps") / 1e6, get_num(s, "max_ps") / 1e6);
+  }
+  const Json* dropped = stages.find("dropped_events");
+  if (dropped != nullptr && dropped->as_int() > 0) {
+    std::printf("  (%lld events dropped at the recording cap)\n",
+                static_cast<long long>(dropped->as_int()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::size_t max_packets = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+      max_packets = static_cast<std::size_t>(std::strtoull(
+          argv[++i], nullptr, 10));
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s FILE [--packets N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s FILE [--packets N]\n", argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = Json::parse(ss.str());
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "%s: not a JSON object\n", path);
+    return 2;
+  }
+  const Json* events_json = doc->find("traceEvents");
+  if (events_json == nullptr || !events_json->is_array()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path);
+    return 2;
+  }
+
+  // Decode events; collect process/track names from metadata.
+  std::map<int, std::string> process_names;
+  std::map<std::pair<int, int>, std::string> track_names;
+  std::vector<Event> events;
+  for (const auto& e : events_json->items()) {
+    if (!e.is_object()) {
+      std::fprintf(stderr, "%s: non-object trace event\n", path);
+      return 1;
+    }
+    const Json* ph = e.find("ph");
+    const Json* name = e.find("name");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1 ||
+        name == nullptr || !e.contains("ts") || !e.contains("pid") ||
+        // process-scoped metadata ("process_name") carries no tid
+        (!e.contains("tid") && ph->as_string() != "M")) {
+      std::fprintf(stderr, "%s: event missing ph/name/ts/pid/tid\n", path);
+      return 1;
+    }
+    Event ev;
+    ev.ph = ph->as_string()[0];
+    ev.name = name->as_string();
+    ev.ts = get_num(e, "ts");
+    ev.pid = static_cast<int>(get_num(e, "pid"));
+    ev.tid = static_cast<int>(get_num(e, "tid", -1));
+    if (const Json* args = e.find("args"); args != nullptr) {
+      if (const Json* m = args->find("msg")) ev.msg = m->as_int();
+      if (const Json* p = args->find("pkt")) ev.pkt = p->as_int();
+      if (ev.ph == 'M') {
+        if (const Json* n = args->find("name")) {
+          if (ev.name == "process_name") {
+            process_names[ev.pid] = n->as_string();
+          } else if (ev.name == "thread_name") {
+            track_names[{ev.pid, ev.tid}] = n->as_string();
+          }
+        }
+      }
+    }
+    if (ev.ph != 'M') events.push_back(std::move(ev));
+  }
+
+  // B/E balance per (pid, tid): a stack of open span names.
+  std::map<std::pair<int, int>, std::vector<std::string>> open;
+  std::uint64_t spans = 0, instants = 0, counters = 0;
+  std::map<std::pair<int, std::string>, SpanStats> span_stats;
+  std::map<std::pair<int, int>, std::vector<std::pair<double, double>>>
+      open_ts;  // parallel stack of begin ts
+  for (const auto& ev : events) {
+    const auto key = std::make_pair(ev.pid, ev.tid);
+    switch (ev.ph) {
+      case 'B':
+        open[key].push_back(ev.name);
+        open_ts[key].emplace_back(ev.ts, 0);
+        break;
+      case 'E': {
+        auto& stack = open[key];
+        if (stack.empty() || stack.back() != ev.name) {
+          std::fprintf(stderr,
+                       "%s: unbalanced span on pid %d tid %d: E \"%s\" vs "
+                       "open \"%s\"\n",
+                       path, ev.pid, ev.tid, ev.name.c_str(),
+                       stack.empty() ? "<none>" : stack.back().c_str());
+          return 1;
+        }
+        stack.pop_back();
+        const double begin = open_ts[key].back().first;
+        open_ts[key].pop_back();
+        auto& s = span_stats[{ev.pid, ev.name}];
+        ++s.count;
+        s.total_us += ev.ts - begin;
+        s.max_us = std::max(s.max_us, ev.ts - begin);
+        ++spans;
+        break;
+      }
+      case 'i':
+        ++instants;
+        break;
+      case 'C':
+        ++counters;
+        break;
+      default:
+        std::fprintf(stderr, "%s: unknown phase '%c'\n", path, ev.ph);
+        return 1;
+    }
+  }
+  for (const auto& [key, stack] : open) {
+    if (!stack.empty()) {
+      std::fprintf(stderr, "%s: %zu span(s) left open on pid %d tid %d\n",
+                   path, stack.size(), key.first, key.second);
+      return 1;
+    }
+  }
+
+  std::printf("%s: %zu events (%llu spans, %llu instants, %llu counter "
+              "samples) across %zu run(s)\n",
+              path, events.size(), static_cast<unsigned long long>(spans),
+              static_cast<unsigned long long>(instants),
+              static_cast<unsigned long long>(counters),
+              process_names.size());
+
+  // Embedded per-stage summaries (written by the exporter).
+  if (const Json* stages = doc->find("netddtStages");
+      stages != nullptr && stages->is_object()) {
+    for (const auto& [run, s] : stages->members()) print_stage_table(run, s);
+  }
+
+  // Span statistics recomputed from the timeline itself.
+  if (!span_stats.empty()) {
+    std::printf("\nspan durations  (us, recomputed from the timeline)\n");
+    std::printf("  %-10s %-24s %10s %12s %12s\n", "run", "span", "count",
+                "mean", "max");
+    for (const auto& [key, s] : span_stats) {
+      const auto pit = process_names.find(key.first);
+      std::printf("  %-10s %-24s %10llu %12.3f %12.3f\n",
+                  pit == process_names.end() ? "?" : pit->second.c_str(),
+                  key.second.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  s.total_us / static_cast<double>(s.count), s.max_us);
+    }
+  }
+
+  // Per-packet breakdown for the first run: arrival ("pkt.in" instant),
+  // HER hand-off ("her" instant), handler execution window (span on an
+  // "hpu N" track carrying the pkt correlation id).
+  if (!events.empty() && max_packets > 0) {
+    const int pid = events.front().pid;
+    struct Packet {
+      double arrival = -1, her = -1, start = -1, end = -1;
+    };
+    std::map<std::int64_t, Packet> pkts;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& ev = events[i];
+      if (ev.pid != pid || ev.pkt < 0) continue;
+      auto& p = pkts[ev.pkt];
+      if (ev.ph == 'i' && ev.name == "pkt.in") {
+        p.arrival = ev.ts;
+      } else if (ev.ph == 'i' && ev.name == "her") {
+        p.her = ev.ts;
+      } else if (ev.ph == 'B') {
+        const auto tit = track_names.find({ev.pid, ev.tid});
+        if (tit != track_names.end() &&
+            tit->second.rfind("hpu ", 0) == 0 && p.start < 0) {
+          p.start = ev.ts;
+          // Spans on HPU tracks never nest, so the matching E is the
+          // next one on this track after the B.
+          for (std::size_t j = i + 1; j < events.size(); ++j) {
+            const Event& later = events[j];
+            if (later.pid == ev.pid && later.tid == ev.tid &&
+                later.ph == 'E') {
+              p.end = later.ts;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (!pkts.empty()) {
+      std::printf("\nper-packet latency breakdown, run \"%s\"  (us; first "
+                  "%zu packets)\n",
+                  process_names.count(pid) ? process_names[pid].c_str()
+                                           : "?",
+                  std::min(max_packets, pkts.size()));
+      std::printf("  %6s %12s %12s %12s %12s %12s\n", "pkt", "arrival",
+                  "her", "hpu wait", "handler", "total");
+      std::size_t shown = 0;
+      for (const auto& [pkt, p] : pkts) {
+        if (shown++ >= max_packets) break;
+        if (p.arrival < 0) continue;
+        std::printf("  %6lld %12.3f", static_cast<long long>(pkt),
+                    p.arrival);
+        if (p.her >= 0) {
+          std::printf(" %12.3f", p.her);
+        } else {
+          std::printf(" %12s", "-");
+        }
+        if (p.her >= 0 && p.start >= 0 && p.end >= 0) {
+          std::printf(" %12.3f %12.3f %12.3f\n", p.start - p.her,
+                      p.end - p.start, p.end - p.arrival);
+        } else {
+          std::printf(" %12s %12s %12s\n", "-", "-", "-");
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -153,6 +153,7 @@ void GeneralPlan::scatter(spin::HandlerArgs& args, dataloop::Segment& seg) {
   if (cstats.reset) {
     args.meter.charge(spin::Phase::kSetup, c.h_reset);
     if (m_resets_ != nullptr) m_resets_->add(1);
+    mark("seg.reset", args);
   }
   if (m_catchup_blocks_ != nullptr) {
     m_catchup_blocks_->add(cstats.catchup_blocks);
@@ -181,6 +182,7 @@ void GeneralPlan::payload_ro_cp(spin::HandlerArgs& args) {
   // Copy the closest checkpoint locally; never write shared state back.
   args.meter.charge(spin::Phase::kInit, cost_->h_init + cost_->h_seg_copy);
   if (m_ckpt_copies_ != nullptr) m_ckpt_copies_->add(1);
+  mark("ckpt.copy", args);
   dataloop::Segment local = table_->closest(args.pkt.offset).state;
   scatter(args, local);
 }
@@ -200,9 +202,20 @@ void GeneralPlan::payload_rw_cp(spin::HandlerArgs& args) {
                       cost_->h_seg_copy + cost_->h_reset);
     if (m_rollbacks_ != nullptr) m_rollbacks_->add(1);
     if (m_ckpt_copies_ != nullptr) m_ckpt_copies_->add(1);
+    mark("rollback", args);
     seg = table_->at(std::min<std::size_t>(seq, table_->size() - 1)).state;
   }
   scatter(args, seg);
+}
+
+void GeneralPlan::mark(const char* name, const spin::HandlerArgs& args) {
+  if (tracer_ == nullptr || !tracer_->events_on()) return;
+  // The handler runs functionally at engine-now; the charged total is
+  // how far into its simulated runtime the event happened.
+  tracer_->instant(
+      offload_track_, name, engine_->now() + args.meter.total(),
+      static_cast<std::int64_t>(args.pkt.msg_id),
+      static_cast<std::int64_t>(args.pkt.offset / cost_->pkt_payload));
 }
 
 spin::ExecutionContext GeneralPlan::context(spin::NicModel& nic) {
@@ -211,6 +224,11 @@ spin::ExecutionContext GeneralPlan::context(spin::NicModel& nic) {
   m_rollbacks_ = &m.counter("offload.rollbacks");
   m_resets_ = &m.counter("offload.segment_resets");
   m_catchup_blocks_ = &m.counter("offload.catchup_blocks");
+  tracer_ = nic.tracer();
+  engine_ = &nic.engine();
+  if (tracer_ != nullptr && tracer_->events_on()) {
+    offload_track_ = tracer_->track("offload");
+  }
   spin::ExecutionContext ctx;
   ctx.policy = policy_;
   switch (config_.kind) {

@@ -87,6 +87,9 @@ class GeneralPlan {
   void payload_ro_cp(spin::HandlerArgs& args);
   void payload_rw_cp(spin::HandlerArgs& args);
   void scatter(spin::HandlerArgs& args, dataloop::Segment& seg);
+  /// Emit a strategy instant (rollback, checkpoint copy, segment reset)
+  /// at the simulated point the handler charged so far.
+  void mark(const char* name, const spin::HandlerArgs& args);
 
   GeneralConfig config_;
   const spin::CostModel* cost_;
@@ -105,6 +108,10 @@ class GeneralPlan {
   sim::Counter* m_rollbacks_ = nullptr;       // offload.rollbacks
   sim::Counter* m_resets_ = nullptr;          // offload.segment_resets
   sim::Counter* m_catchup_blocks_ = nullptr;  // offload.catchup_blocks
+
+  sim::trace::Tracer* tracer_ = nullptr;  // from the NIC, via context()
+  sim::Engine* engine_ = nullptr;
+  std::uint32_t offload_track_ = 0;
 };
 
 }  // namespace netddt::offload

@@ -79,7 +79,11 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   spin::NicModel nic(engine, host, config.cost,
                      spin::NicConfig{config.hpus, config.nicmem_bytes});
   spin::Link link(engine, nic, nic.cost());
-  if (config.trace_dma) nic.dma().enable_trace(true);
+  if (config.trace.any()) {
+    run.tracer = std::make_unique<sim::trace::Tracer>(config.trace);
+    engine.set_tracer(run.tracer.get());
+    nic.set_tracer(run.tracer.get());  // before strategies build contexts
+  }
 
   // Strategy setup (before the ready-to-receive goes out).
   std::unique_ptr<SpecializedPlan> specialized;
@@ -135,6 +139,11 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
       break;
     }
   }
+  if (me.context != nullptr) {
+    // Handler spans in traces carry the strategy name.
+    static_cast<spin::ExecutionContext*>(me.context)->label =
+        strategy_name(config.strategy).data();
+  }
   nic.match_list().append(p4::ListKind::kPriority, me);
 
   // Stream the message (t = 0 is the ready-to-receive instant).
@@ -151,10 +160,18 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   const auto* info = nic.info(msg_id);
   assert(info != nullptr && info->done && "message did not complete");
 
+  if (run.tracer != nullptr && run.tracer->events_on()) {
+    // One span covering the whole message (first byte -> unpack done).
+    run.tracer->complete(run.tracer->track("message"), "receive",
+                         info->first_byte, info->unpack_done,
+                         static_cast<std::int64_t>(msg_id));
+  }
+
   // Publish the simulator's own high-watermark, then freeze the registry:
   // everything below reads through the snapshot, not loose struct fields.
   nic.metrics().gauge("sim.engine.queue_depth").set(
       static_cast<std::int64_t>(engine.max_pending()));
+  nic.metrics().finalize_series(engine.now());
   run.metrics = nic.metrics().snapshot();
   const sim::MetricsSnapshot& snap = run.metrics;
 
@@ -176,7 +193,7 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
     res.handler_processing = static_cast<sim::Time>(
         snap.counter("nic.handler.processing_time_ps") / res.handlers);
   }
-  if (config.trace_dma) {
+  if (config.trace.events) {
     const auto& points = nic.dma().depth_trace();
     run.dma_trace.reserve(points.size());
     for (const auto& [when, depth] : points) {

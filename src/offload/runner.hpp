@@ -5,12 +5,14 @@
 // quantities the paper's figures plot.
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "ddt/datatype.hpp"
 #include "offload/strategy.hpp"
 #include "sim/metrics.hpp"
+#include "sim/trace/trace.hpp"
 #include "spin/cost_model.hpp"
 
 namespace netddt::offload {
@@ -29,7 +31,9 @@ struct ReceiveConfig {
   std::uint32_t ooo_window = 0;
   std::uint64_t seed = 1;
   bool verify = true;
-  bool trace_dma = false;  // record the Fig 15 queue-depth trace
+  /// Event/stats tracing (zero-cost when left default-disabled).
+  /// `trace.events` also records the Fig 15 DMA queue-depth trace.
+  sim::trace::TraceConfig trace{};
 };
 
 struct ReceiveRun {
@@ -39,6 +43,10 @@ struct ReceiveRun {
   /// published during the run ("nic.*" / "offload.*" / "sim.*" scopes);
   /// the fields in `result` are views into the same data.
   sim::MetricsSnapshot metrics;
+  /// The run's tracer when `config.trace.any()`, else null. Holds the
+  /// event timeline and the per-stage latency histograms; export with
+  /// sim/trace/chrome.hpp.
+  std::unique_ptr<sim::trace::Tracer> tracer;
 };
 
 ReceiveRun run_receive(const ReceiveConfig& config);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/trace/trace.hpp"
 
 namespace netddt::sim {
 
@@ -55,6 +56,15 @@ class Engine {
     return now_;
   }
 
+  /// Attach an event tracer (nullptr detaches). Dispatch spans and the
+  /// pending-queue counter are only emitted when the tracer's
+  /// engine_events option is set — they are per-event and very noisy.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) engine_track_ = tracer_->track("engine");
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   /// High-watermark of the pending-event queue over the engine's
@@ -85,7 +95,15 @@ class Engine {
     assert(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
-    ev.fn();
+    if (tracer_ != nullptr && tracer_->engine_events_on()) {
+      tracer_->begin(engine_track_, "dispatch", now_);
+      ev.fn();
+      tracer_->end(engine_track_, "dispatch", now_);
+      tracer_->counter(engine_track_, "pending", now_,
+                       static_cast<double>(heap_.size()));
+    } else {
+      ev.fn();
+    }
   }
 
   std::vector<Event> heap_;
@@ -93,6 +111,8 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t max_pending_ = 0;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t engine_track_ = 0;
 };
 
 }  // namespace netddt::sim

@@ -72,6 +72,17 @@ class Series {
   /// last). Returns 0 for an empty series.
   double time_weighted_mean(Time end) const;
 
+  /// Close the series at simulation end: record a final point at `end`
+  /// holding the last value, so time-weighted averages and exported
+  /// counter tracks cover the interval from the last change to the end
+  /// of the run instead of truncating it. No-op when empty or when the
+  /// last sample is already at (or past) `end`.
+  void finalize(Time end) {
+    if (!points_.empty() && points_.back().first < end) {
+      points_.emplace_back(end, points_.back().second);
+    }
+  }
+
  private:
   std::vector<std::pair<Time, double>> points_;
 };
@@ -101,6 +112,11 @@ class MetricsRegistry {
   Counter& counter(const std::string& name) { return counters_[name]; }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   Series& series(const std::string& name) { return series_[name]; }
+
+  /// Finalize every series at simulation end time (see Series::finalize).
+  void finalize_series(Time end) {
+    for (auto& [name, s] : series_) s.finalize(end);
+  }
 
   MetricsSnapshot snapshot() const;
 

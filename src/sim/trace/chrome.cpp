@@ -1,0 +1,200 @@
+#include "sim/trace/chrome.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+namespace netddt::sim::trace {
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+// Picoseconds -> microseconds with exact decimal rendering ("81.920000"
+// for 81'920'000 ps): integer math, deterministic across platforms.
+void append_ts(std::string& out, Time ps) {
+  if (ps < 0) {
+    out += '-';
+    ps = -ps;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%06" PRId64, ps / 1'000'000,
+                ps % 1'000'000);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_event(std::string& out, const TraceEvent& ev, int pid) {
+  out += "{\"name\":";
+  append_escaped(out, ev.name);
+  out += ",\"ph\":\"";
+  out += ev.ph;
+  out += "\",\"ts\":";
+  append_ts(out, ev.ts);
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(ev.track);
+  if (ev.ph == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+  if (ev.ph == 'C') {
+    out += ",\"args\":{\"value\":";
+    append_double(out, ev.value);
+    out += "}";
+  } else if (ev.msg >= 0 || ev.pkt >= 0) {
+    out += ",\"args\":{";
+    bool first = true;
+    if (ev.msg >= 0) {
+      out += "\"msg\":" + std::to_string(ev.msg);
+      first = false;
+    }
+    if (ev.pkt >= 0) {
+      if (!first) out += ',';
+      out += "\"pkt\":" + std::to_string(ev.pkt);
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
+void append_metadata(std::string& out, const char* kind, int pid, int tid,
+                     const std::string& name, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "{\"name\":\"";
+  out += kind;
+  out += "\",\"ph\":\"M\",\"ts\":0,\"pid\":";
+  out += std::to_string(pid);
+  if (tid >= 0) out += ",\"tid\":" + std::to_string(tid);
+  out += ",\"args\":{\"name\":";
+  append_escaped(out, name.c_str());
+  out += "}}";
+}
+
+void append_stage_summary(std::string& out, const Tracer& tracer) {
+  out += "{";
+  bool first = true;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const Histogram& h = tracer.histogram(static_cast<Stage>(i));
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += stage_name(static_cast<Stage>(i));
+    out += "\":{\"count\":" + std::to_string(h.count());
+    out += ",\"min_ps\":" + std::to_string(h.min());
+    out += ",\"p50_ps\":";
+    append_double(out, h.percentile(50));
+    out += ",\"p90_ps\":";
+    append_double(out, h.percentile(90));
+    out += ",\"p99_ps\":";
+    append_double(out, h.percentile(99));
+    out += ",\"max_ps\":" + std::to_string(h.max());
+    out += ",\"mean_ps\":";
+    append_double(out, h.mean());
+    out += "}";
+  }
+  out += ",\"dropped_events\":" + std::to_string(tracer.dropped());
+  out += "}";
+}
+
+void write_document(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, const Tracer*>>& runs) {
+  std::string buf;
+  buf += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    const int pid = static_cast<int>(run);
+    const Tracer& tracer = *runs[run].second;
+    append_metadata(buf, "process_name", pid, -1, runs[run].first, first);
+    for (std::uint32_t t = 0; t < tracer.tracks().size(); ++t) {
+      append_metadata(buf, "thread_name", pid, static_cast<int>(t),
+                      tracer.tracks()[t], first);
+    }
+    // Stable sort by timestamp: emission order breaks ties, which keeps
+    // each track's B/E sequence balanced (a span's end is recorded no
+    // later than any later span's begin on the same track).
+    std::vector<std::uint32_t> order(tracer.events().size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return tracer.events()[a].ts < tracer.events()[b].ts;
+                     });
+    for (const std::uint32_t i : order) {
+      if (!first) buf += ",\n";
+      first = false;
+      append_event(buf, tracer.events()[i], pid);
+    }
+    out << buf;
+    buf.clear();
+  }
+  buf += "\n],\"displayTimeUnit\":\"ns\"";
+  buf += ",\"otherData\":{\"generator\":\"netddt\"}";
+  buf += ",\"netddtStages\":{";
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    if (run > 0) buf += ",";
+    append_escaped(buf, runs[run].first.c_str());
+    buf += ":";
+    append_stage_summary(buf, *runs[run].second);
+  }
+  buf += "}}\n";
+  out << buf;
+}
+
+}  // namespace
+
+void write_chrome(std::ostream& out, const Tracer& tracer,
+                  const std::string& label) {
+  write_document(out, {{label, &tracer}});
+}
+
+void Collector::add(std::string label, std::unique_ptr<Tracer> tracer) {
+  if (tracer == nullptr) return;
+  runs_.emplace_back(std::move(label), std::move(tracer));
+}
+
+void Collector::write(std::ostream& out) const {
+  std::vector<std::pair<std::string, const Tracer*>> runs;
+  runs.reserve(runs_.size());
+  for (const auto& [label, tracer] : runs_) {
+    runs.emplace_back(label, tracer.get());
+  }
+  write_document(out, runs);
+}
+
+bool Collector::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace netddt::sim::trace

@@ -1,0 +1,52 @@
+#pragma once
+// Chrome trace-event JSON export (the "JSON Object Format" accepted by
+// chrome://tracing and Perfetto).
+//
+// Each Tracer becomes one process (pid) whose tracks are threads (tid,
+// named via thread_name metadata events); a Collector aggregates the
+// tracers of several runs — e.g. one per (strategy, gamma) point of a
+// sweep — into a single document. Timestamps are microseconds with
+// picosecond precision (exact decimal rendering of the integer ps
+// clock, so output is byte-deterministic). Correlation ids are exported
+// as `args: {"msg": .., "pkt": ..}`.
+//
+// Alongside the standard `traceEvents` array the document carries a
+// `netddtStages` object with the per-stage latency histogram summaries
+// (count/min/p50/p90/p99/max/mean in ps) that bench/trace_inspect
+// prints; standard viewers ignore unknown top-level keys.
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/trace/trace.hpp"
+
+namespace netddt::sim::trace {
+
+/// Write one tracer as a complete Chrome-JSON document.
+void write_chrome(std::ostream& out, const Tracer& tracer,
+                  const std::string& label = "sim");
+
+/// Owns the tracers of a multi-run sweep and writes them as one
+/// document (one pid per run, labeled with the run's name).
+class Collector {
+ public:
+  void add(std::string label, std::unique_ptr<Tracer> tracer);
+  std::size_t size() const { return runs_.size(); }
+  bool empty() const { return runs_.empty(); }
+  const std::vector<std::pair<std::string, std::unique_ptr<Tracer>>>& runs()
+      const {
+    return runs_;
+  }
+
+  void write(std::ostream& out) const;
+  /// Returns false when the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Tracer>>> runs_;
+};
+
+}  // namespace netddt::sim::trace

@@ -1,0 +1,76 @@
+#include "sim/trace/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace netddt::sim::trace {
+
+std::size_t Histogram::bucket_index(std::int64_t v) {
+  if (v <= 0) return 0;
+  const auto width =
+      static_cast<std::size_t>(std::bit_width(static_cast<std::uint64_t>(v)));
+  return std::min(width, kBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_lo(std::size_t i) {
+  if (i == 0) return 0;
+  return std::int64_t{1} << (i - 1);
+}
+
+std::int64_t Histogram::bucket_hi(std::size_t i) {
+  if (i == 0) return 1;
+  return std::int64_t{1} << i;
+}
+
+void Histogram::add(std::int64_t v) {
+  if (v < 0) v = 0;
+  ++counts_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += static_cast<double>(v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Position of the target rank within this bucket, in [0, 1].
+      const double pos =
+          std::clamp((target - cum) / static_cast<double>(counts_[i]), 0.0,
+                     1.0);
+      const auto lo = static_cast<double>(bucket_lo(i));
+      const auto hi = static_cast<double>(bucket_hi(i));
+      const double v = lo + pos * (hi - lo);
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace netddt::sim::trace

@@ -1,0 +1,60 @@
+#pragma once
+// Log2-bucketed latency histogram for the tracing subsystem.
+//
+// Latencies in picoseconds span seven orders of magnitude (a 1 ns DMA
+// issue slot vs. a 100 us message), so buckets are powers of two: bucket
+// 0 holds {0}, bucket i >= 1 covers [2^(i-1), 2^i). Adding a sample is
+// O(1) with no allocation (fixed 64-bucket array), which is what lets
+// per-stage latency recording sit on the simulator's hot path.
+//
+// Percentiles interpolate linearly inside the containing bucket and are
+// clamped to the exact observed [min, max], so p0/p100 are exact, a
+// constant sample set reports the constant exactly, and any quantile is
+// within one bucket width of the true value.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace netddt::sim::trace {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket index for `v` (negatives clamp to 0).
+  static std::size_t bucket_index(std::int64_t v);
+  /// Inclusive lower bound of bucket `i`.
+  static std::int64_t bucket_lo(std::size_t i);
+  /// Exclusive upper bound of bucket `i`.
+  static std::int64_t bucket_hi(std::size_t i);
+
+  void add(std::int64_t v);
+  /// Merge another histogram's samples into this one (used when a report
+  /// aggregates the per-run stage histograms of a sweep).
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::int64_t min() const { return count_ ? min_ : 0; }  // exact
+  std::int64_t max() const { return count_ ? max_ : 0; }  // exact
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// p in [0, 100]. Linear interpolation within the containing log2
+  /// bucket, clamped to [min(), max()].
+  double percentile(double p) const;
+
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace netddt::sim::trace

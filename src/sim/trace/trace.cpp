@@ -1,0 +1,64 @@
+#include "sim/trace/trace.hpp"
+
+namespace netddt::sim::trace {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kInbound: return "inbound";
+    case Stage::kMatch: return "match";
+    case Stage::kHpuWait: return "hpu_wait";
+    case Stage::kHandler: return "handler";
+    case Stage::kDmaQueueWait: return "dma_queue_wait";
+    case Stage::kPcieTransfer: return "pcie_transfer";
+  }
+  return "?";
+}
+
+std::uint32_t Tracer::track(const std::string& name) {
+  for (std::uint32_t i = 0; i < track_names_.size(); ++i) {
+    if (track_names_[i] == name) return i;
+  }
+  track_names_.push_back(name);
+  return static_cast<std::uint32_t>(track_names_.size() - 1);
+}
+
+const char* Tracer::intern(const std::string& s) {
+  const auto it = intern_index_.find(s);
+  if (it != intern_index_.end()) return it->second;
+  interned_.push_back(s);
+  const char* p = interned_.back().c_str();
+  intern_index_.emplace(s, p);
+  return p;
+}
+
+void Tracer::begin(std::uint32_t track, const char* name, Time ts,
+                   std::int64_t msg, std::int64_t pkt) {
+  if (!config_.events || !room(1)) return;
+  events_.push_back(TraceEvent{'B', track, name, ts, msg, pkt, 0.0});
+}
+
+void Tracer::end(std::uint32_t track, const char* name, Time ts) {
+  if (!config_.events || !room(1)) return;
+  events_.push_back(TraceEvent{'E', track, name, ts, -1, -1, 0.0});
+}
+
+void Tracer::complete(std::uint32_t track, const char* name, Time begin_ts,
+                      Time end_ts, std::int64_t msg, std::int64_t pkt) {
+  if (!config_.events || !room(2)) return;
+  events_.push_back(TraceEvent{'B', track, name, begin_ts, msg, pkt, 0.0});
+  events_.push_back(TraceEvent{'E', track, name, end_ts, -1, -1, 0.0});
+}
+
+void Tracer::instant(std::uint32_t track, const char* name, Time ts,
+                     std::int64_t msg, std::int64_t pkt) {
+  if (!config_.events || !room(1)) return;
+  events_.push_back(TraceEvent{'i', track, name, ts, msg, pkt, 0.0});
+}
+
+void Tracer::counter(std::uint32_t track, const char* name, Time ts,
+                     double value) {
+  if (!config_.events || !room(1)) return;
+  events_.push_back(TraceEvent{'C', track, name, ts, -1, -1, value});
+}
+
+}  // namespace netddt::sim::trace

@@ -1,0 +1,133 @@
+#pragma once
+// Event tracing for the simulated NIC pipeline.
+//
+// A Tracer records two kinds of observations:
+//
+//  - a timeline of events (span begin/end, instants, counter samples) on
+//    named tracks (per-HPU, DMA engine, inbound engine, link, ...), each
+//    optionally carrying packet/message correlation ids. The timeline
+//    exports to Chrome trace-event JSON (sim/trace/chrome.hpp) loadable
+//    in Perfetto / chrome://tracing.
+//  - per-stage latency histograms (inbound processing, matching, HPU
+//    wait, handler runtime T_PH, DMA queue wait, PCIe transfer) from
+//    which benchmarks report p50/p90/p99/max.
+//
+// Cost discipline: components hold a `Tracer*` that is nullptr when
+// tracing is off, so the disabled path is a single pointer test with no
+// allocation. Event names are `const char*` and must outlive the tracer
+// — string literals, or strings pinned via intern(). Track registration
+// and interning are setup-time operations, not hot-path ones.
+//
+// Tracing never alters simulation behavior: every hook is read-only, so
+// results are bit-identical with tracing on or off.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace/histogram.hpp"
+
+namespace netddt::sim::trace {
+
+struct TraceConfig {
+  /// Record the event timeline (spans/instants/counters).
+  bool events = false;
+  /// Record per-stage latency histograms.
+  bool stats = false;
+  /// Cap on recorded timeline events; further events are dropped and
+  /// counted (spans drop begin+end atomically, so B/E stay balanced).
+  std::size_t max_events = 1u << 20;
+  /// Also emit a span per DES-engine event dispatch plus a pending-queue
+  /// counter. Very noisy; off by default even when `events` is on.
+  bool engine_events = false;
+
+  bool any() const { return events || stats; }
+};
+
+/// Pipeline stages with a latency histogram (paper Figs 12/14/15 lens).
+enum class Stage : std::uint8_t {
+  kInbound = 0,    // packet arrival -> HER ready (copy + dispatch)
+  kMatch,          // matching-unit lookup (header packets)
+  kHpuWait,        // HER ready -> handler starts on an HPU
+  kHandler,        // handler runtime T_PH
+  kDmaQueueWait,   // DMA request enqueued -> engine starts service
+  kPcieTransfer,   // DMA service done -> write lands in host memory
+};
+inline constexpr std::size_t kStageCount = 6;
+
+/// Stable machine name for a stage ("inbound", "hpu_wait", ...).
+const char* stage_name(Stage s);
+
+struct TraceEvent {
+  char ph;                // 'B' / 'E' / 'i' / 'C' (Chrome phase)
+  std::uint32_t track;    // tid in the exported trace
+  const char* name;
+  Time ts;
+  std::int64_t msg = -1;  // message correlation id (-1 = none)
+  std::int64_t pkt = -1;  // packet index within the message (-1 = none)
+  double value = 0.0;     // counter events only
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig config = {}) : config_(config) {}
+
+  const TraceConfig& config() const { return config_; }
+  bool events_on() const { return config_.events; }
+  bool stats_on() const { return config_.stats; }
+  bool engine_events_on() const {
+    return config_.events && config_.engine_events;
+  }
+
+  /// Register (or look up) a track by name; returns its id (the exported
+  /// tid). Idempotent per name. Setup-time only.
+  std::uint32_t track(const std::string& name);
+  const std::vector<std::string>& tracks() const { return track_names_; }
+
+  /// Pin a dynamic string for use as an event name. Setup-time only.
+  const char* intern(const std::string& s);
+
+  // --- timeline (no-ops unless events_on()) -----------------------------
+  void begin(std::uint32_t track, const char* name, Time ts,
+             std::int64_t msg = -1, std::int64_t pkt = -1);
+  void end(std::uint32_t track, const char* name, Time ts);
+  /// Begin+end emitted atomically (both or neither under max_events), so
+  /// exported spans are always balanced.
+  void complete(std::uint32_t track, const char* name, Time begin_ts,
+                Time end_ts, std::int64_t msg = -1, std::int64_t pkt = -1);
+  void instant(std::uint32_t track, const char* name, Time ts,
+               std::int64_t msg = -1, std::int64_t pkt = -1);
+  void counter(std::uint32_t track, const char* name, Time ts, double value);
+
+  // --- stage latency histograms (no-op unless stats_on()) ---------------
+  void latency(Stage stage, Time dt) {
+    if (config_.stats) stages_[static_cast<std::size_t>(stage)].add(dt);
+  }
+  const Histogram& histogram(Stage stage) const {
+    return stages_[static_cast<std::size_t>(stage)];
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  bool room(std::size_t n) {
+    if (events_.size() + n <= config_.max_events) return true;
+    dropped_ += n;
+    return false;
+  }
+
+  TraceConfig config_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> track_names_;
+  std::deque<std::string> interned_;  // deque: stable c_str() storage
+  std::map<std::string, const char*> intern_index_;
+  Histogram stages_[kStageCount];
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace netddt::sim::trace

@@ -19,13 +19,29 @@ DmaEngine::DmaEngine(sim::Engine& engine, const CostModel& cost,
   trace_ = &metrics->series("nic.dma.queue_depth.trace");
 }
 
+void DmaEngine::set_tracer(sim::trace::Tracer* tracer) {
+  tracer_ = tracer;
+  last_depth_emitted_ = -1.0;
+  if (tracer_ == nullptr) return;
+  if (tracer_->events_on()) {
+    dma_track_ = tracer_->track("dma");
+    queue_track_ = tracer_->track("dma queue");
+  }
+}
+
 void DmaEngine::sample() {
   // Occupancy counts every request issued but not yet landed in host
   // memory — queued at the engine, in service, or in the PCIe posted-
   // write window. This matches the paper's Fig 14/15 "DMA write
   // requests queue" semantics.
-  if (trace_enabled_) {
-    trace_->record(engine_->now(), static_cast<double>(depth_->value()));
+  if (tracer_ == nullptr || !tracer_->events_on()) return;
+  const double depth = static_cast<double>(depth_->value());
+  trace_->record(engine_->now(), depth);
+  // The Series keeps every sample (Fig 15 needs the raw shape); the
+  // Chrome counter track only needs changes.
+  if (depth != last_depth_emitted_) {
+    tracer_->counter(queue_track_, "depth", engine_->now(), depth);
+    last_depth_emitted_ = depth;
   }
 }
 
@@ -40,7 +56,8 @@ void DmaEngine::write_at(sim::Time when, std::int64_t host_off,
   assert(when >= engine_->now());
   engine_->schedule_at(when, [this, host_off, src, signal_event, msg_id] {
     depth_->add(1);
-    queue_.push_back(Request{host_off, src, signal_event, msg_id});
+    queue_.push_back(
+        Request{host_off, src, signal_event, msg_id, engine_->now()});
     sample();
     if (!busy_) start_next();
   });
@@ -54,6 +71,17 @@ void DmaEngine::start_next() {
   sample();
 
   const sim::Time service = cost_->dma_service(req.src.size());
+  if (tracer_ != nullptr) {
+    tracer_->latency(sim::trace::Stage::kDmaQueueWait,
+                     engine_->now() - req.enqueued);
+    tracer_->latency(sim::trace::Stage::kPcieTransfer,
+                     service + cost_->pcie_write_latency);
+    if (tracer_->events_on()) {
+      tracer_->complete(dma_track_, "dma write", engine_->now(),
+                        engine_->now() + service,
+                        static_cast<std::int64_t>(req.msg_id));
+    }
+  }
   // The engine frees up after `service`; the write lands in host memory
   // one PCIe write latency later (posted writes pipeline).
   engine_->schedule(service, [this, req] {
@@ -74,6 +102,10 @@ void DmaEngine::start_next() {
       depth_->sub(1);
       sample();
       last_completion_ = engine_->now();
+      if (tracer_ != nullptr && tracer_->events_on()) {
+        tracer_->instant(dma_track_, "landed", engine_->now(),
+                         static_cast<std::int64_t>(req.msg_id));
+      }
       if (req.signal_event && on_complete_) {
         on_complete_(req.msg_id, engine_->now());
       }

@@ -7,6 +7,13 @@
 // memory one PCIe write latency after service. Queue occupancy is
 // tracked over time — that is the data behind Fig 14 and Fig 15 — and
 // published into the metrics registry under the "nic.dma" scope.
+//
+// Tracing: with a Tracer attached (and events on) every occupancy
+// change is sampled into the "nic.dma.queue_depth.trace" Series and a
+// counter track, each service window becomes a span on the "dma" track,
+// and the queue-wait / PCIe-transfer latencies feed the corresponding
+// stage histograms. Without a tracer nothing is recorded — the single
+// null check replaces the old bespoke enable_trace flag.
 
 #include <cstddef>
 #include <cstdint>
@@ -19,6 +26,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/trace/trace.hpp"
 #include "spin/cost_model.hpp"
 
 namespace netddt::spin {
@@ -36,6 +44,10 @@ class DmaEngine {
             sim::MetricsRegistry* metrics = nullptr);
 
   void set_completion_callback(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+  /// Attach an event tracer (nullptr detaches). Enables the Fig 15
+  /// queue-depth trace and the DMA spans/latency histograms.
+  void set_tracer(sim::trace::Tracer* tracer);
 
   /// Enqueue a DMA write of `src` to host offset `host_off` at the
   /// current simulated time. `src` may be empty (the zero-byte
@@ -60,11 +72,10 @@ class DmaEngine {
     return static_cast<std::size_t>(depth_->peak());
   }
   /// (time, depth) samples taken at every enqueue/dequeue: Fig 15. Only
-  /// recorded while tracing is enabled.
+  /// recorded while a tracer with events is attached.
   const std::vector<std::pair<sim::Time, double>>& depth_trace() const {
     return trace_->points();
   }
-  void enable_trace(bool on) { trace_enabled_ = on; }
   sim::Time last_completion() const { return last_completion_; }
   /// True once every enqueued request has landed in host memory.
   bool drained() const { return depth_->value() == 0; }
@@ -75,6 +86,7 @@ class DmaEngine {
     std::span<const std::byte> src;
     bool signal_event;
     std::uint64_t msg_id;
+    sim::Time enqueued;
   };
 
   void start_next();
@@ -86,7 +98,6 @@ class DmaEngine {
   CompletionFn on_complete_;
   std::deque<Request> queue_;
   bool busy_ = false;
-  bool trace_enabled_ = false;
   sim::Time last_completion_ = 0;
 
   std::unique_ptr<sim::MetricsRegistry> local_metrics_;
@@ -94,6 +105,11 @@ class DmaEngine {
   sim::Counter* bytes_;    // nic.dma.bytes
   sim::Gauge* depth_;      // nic.dma.queue_depth (issued, not yet landed)
   sim::Series* trace_;     // nic.dma.queue_depth.trace
+
+  sim::trace::Tracer* tracer_ = nullptr;
+  std::uint32_t dma_track_ = 0;    // service spans + landing instants
+  std::uint32_t queue_track_ = 0;  // occupancy counter track
+  double last_depth_emitted_ = -1.0;
 };
 
 }  // namespace netddt::spin

@@ -90,6 +90,9 @@ struct ExecutionContext {
   PacketHandler payload;     // optional
   PacketHandler completion;  // optional
   SchedulingPolicy policy;
+  /// Names the handler spans in traces (e.g. the offload strategy);
+  /// must outlive the context — a literal or a Tracer-interned string.
+  const char* label = "handler";
 };
 
 }  // namespace netddt::spin

@@ -8,6 +8,9 @@ namespace netddt::spin {
 sim::Time Link::deliver_in_order(const std::vector<const p4::Packet*>& order,
                                  const std::vector<sim::Time>& ready,
                                  sim::Time start) {
+  sim::trace::Tracer* tracer = target_->tracer();
+  const bool trace = tracer != nullptr && tracer->events_on();
+  const std::uint32_t link_track = trace ? tracer->track("link") : 0;
   sim::Time link_free = start;
   sim::Time last_arrival = start;
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -19,6 +22,13 @@ sim::Time Link::deliver_in_order(const std::vector<const p4::Packet*>& order,
     link_free = depart + on_wire;
     const sim::Time arrival = link_free + cost_->net_latency;
     last_arrival = std::max(last_arrival, arrival);
+    if (trace) {
+      // Serialization window of this packet on the wire.
+      tracer->complete(
+          link_track, "wire", depart, link_free,
+          static_cast<std::int64_t>(pkt.msg_id),
+          static_cast<std::int64_t>(pkt.offset / cost_->pkt_payload));
+    }
     engine_->schedule_at(arrival, [nic = target_, pkt] { nic->deliver(pkt); });
   }
   return last_arrival;

@@ -29,6 +29,15 @@ NicModel::NicModel(sim::Engine& engine, Host& host, CostModel cost,
   msgs_completed_ = &metrics_.counter("nic.msgs.completed");
 }
 
+void NicModel::set_tracer(sim::trace::Tracer* tracer) {
+  tracer_ = tracer;
+  dma_.set_tracer(tracer);
+  scheduler_.set_tracer(tracer);
+  if (tracer_ != nullptr && tracer_->events_on()) {
+    inbound_track_ = tracer_->track("inbound");
+  }
+}
+
 ExecutionContext* NicModel::register_context(ExecutionContext ctx) {
   contexts_.push_back(std::make_unique<ExecutionContext>(std::move(ctx)));
   return contexts_.back().get();
@@ -41,12 +50,23 @@ const NicModel::MsgInfo* NicModel::info(std::uint64_t msg_id) const {
 
 void NicModel::deliver(const p4::Packet& pkt) {
   pkts_delivered_->add(1);
+  if (tracer_ != nullptr && tracer_->events_on()) {
+    tracer_->instant(
+        inbound_track_, "pkt.in", engine_->now(),
+        static_cast<std::int64_t>(pkt.msg_id),
+        static_cast<std::int64_t>(pkt.offset / cost_.pkt_payload));
+  }
   auto it = msgs_.find(pkt.msg_id);
   if (it == msgs_.end()) {
     // First packet of the message: run the matching unit. The network
     // delivers the header packet first (paper Sec 2.1.2), so this is
     // always the header.
     assert(pkt.first && "non-header packet for unknown message");
+    // The matching unit walk is folded into rdma_nic_per_pkt in the cost
+    // model; surface it as the "match" stage for first packets.
+    if (tracer_ != nullptr) {
+      tracer_->latency(sim::trace::Stage::kMatch, cost_.rdma_nic_per_pkt);
+    }
     auto hit = match_list_.match(pkt.match_bits);
     if (!hit) {
       pkts_dropped_->add(1);
@@ -81,6 +101,9 @@ void NicModel::deliver_rdma(MsgState& st, const p4::Packet& pkt) {
   // Non-processing path: parse + match cost, then DMA straight to the
   // host buffer at the packet's message offset.
   const sim::Time ready = engine_->now() + cost_.rdma_nic_per_pkt;
+  if (tracer_ != nullptr) {
+    tracer_->latency(sim::trace::Stage::kInbound, cost_.rdma_nic_per_pkt);
+  }
   std::span<const std::byte> src;
   if (pkt.data != nullptr && pkt.payload_bytes > 0) {
     src = std::span<const std::byte>(pkt.data, pkt.payload_bytes);
@@ -108,6 +131,10 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
                               cost_.pkt_copy_fixed +
                               cost_.nicmem_copy(pkt.payload_bytes) +
                               cost_.her_dispatch;
+  // Inbound-engine stage: packet arrival to HER hand-off.
+  if (tracer_ != nullptr) {
+    tracer_->latency(sim::trace::Stage::kInbound, her_ready);
+  }
 
   const bool run_header = pkt.first && st.ctx->header != nullptr;
   const bool run_payload = st.ctx->payload != nullptr && pkt.payload_bytes > 0;
@@ -123,6 +150,7 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
       const std::uint64_t pkt_index = pkt_copy.offset / cost_.pkt_payload;
       scheduler_.enqueue(
           pkt_copy.msg_id, st.ctx->policy, pkt_index,
+          st.ctx->label, static_cast<std::int64_t>(pkt_index),
           [this, &st, pkt_copy, run_header, run_payload](sim::Time start)
               -> sim::Time {
             ChargeMeter meter;
@@ -197,7 +225,7 @@ void NicModel::maybe_dispatch_completion(MsgState& st) {
   completion_pkt.msg_id = st.msg_id;
   completion_pkt.last = true;
   scheduler_.enqueue(
-      completion_pkt.msg_id, SchedulingPolicy::Default(), 0,
+      completion_pkt.msg_id, SchedulingPolicy::Default(), 0, "completion", -1,
       [this, &st, completion_pkt](sim::Time start) -> sim::Time {
         ChargeMeter meter;
         DmaIssuer issuer([this, &completion_pkt, start](

@@ -68,6 +68,12 @@ class NicModel {
   sim::MetricsRegistry& metrics() { return metrics_; }
   const sim::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Attach an event tracer (nullptr detaches) and wire it through to
+  /// the engine-facing components (scheduler, DMA engine). The link
+  /// model picks it up via tracer().
+  void set_tracer(sim::trace::Tracer* tracer);
+  sim::trace::Tracer* tracer() const { return tracer_; }
+
   /// Register an execution context; the returned pointer goes into
   /// MatchEntry::context and stays valid for the NIC's lifetime.
   ExecutionContext* register_context(ExecutionContext ctx);
@@ -142,6 +148,9 @@ class NicModel {
   sim::Counter* handler_setup_;        // nic.handler.setup_time_ps
   sim::Counter* handler_processing_;   // nic.handler.processing_time_ps
   sim::Counter* msgs_completed_;       // nic.msgs.completed
+
+  sim::trace::Tracer* tracer_ = nullptr;
+  std::uint32_t inbound_track_ = 0;  // packet arrivals + message events
 };
 
 }  // namespace netddt::spin

@@ -50,6 +50,13 @@ class OutboundEngine {
 
   Scheduler& scheduler() { return scheduler_; }
 
+  /// Attach an event tracer to the sender-side scheduler. The sender and
+  /// receiver NICs should not share one tracer — the per-HPU track names
+  /// would collide.
+  void set_tracer(sim::trace::Tracer* tracer) {
+    scheduler_.set_tracer(tracer);
+  }
+
  private:
   struct Put {
     std::vector<std::byte> staging;

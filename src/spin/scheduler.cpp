@@ -1,13 +1,31 @@
 #include "spin/scheduler.hpp"
 
 #include <cassert>
+#include <string>
 
 namespace netddt::spin {
 
+void Scheduler::set_tracer(sim::trace::Tracer* tracer) {
+  tracer_ = tracer;
+  hpu_tracks_.clear();
+  if (tracer_ == nullptr) return;
+  sched_track_ = tracer_->track("scheduler");
+  hpu_tracks_.reserve(hpus_);
+  for (std::uint32_t i = 0; i < hpus_; ++i) {
+    hpu_tracks_.push_back(tracer_->track("hpu " + std::to_string(i)));
+  }
+}
+
 void Scheduler::enqueue(std::uint64_t msg_id, const SchedulingPolicy& policy,
-                        std::uint64_t pkt_index, Task task) {
+                        std::uint64_t pkt_index, Task task, const char* label,
+                        std::int64_t trace_pkt) {
+  Pending item{std::move(task), engine_->now(), label, msg_id, trace_pkt};
+  if (tracer_ != nullptr && tracer_->events_on()) {
+    tracer_->instant(sched_track_, "her", item.enqueued,
+                     static_cast<std::int64_t>(msg_id), trace_pkt);
+  }
   if (policy.kind == SchedulingPolicy::Kind::kDefault) {
-    ready_.push_back(Runnable{std::move(task), nullptr});
+    ready_.push_back(Runnable{std::move(item), nullptr});
     dispatch();
     return;
   }
@@ -17,7 +35,7 @@ void Scheduler::enqueue(std::uint64_t msg_id, const SchedulingPolicy& policy,
   if (list.size() < policy.num_vhpus) list.resize(policy.num_vhpus);
   const std::uint64_t seq = pkt_index / policy.delta_p;
   Vhpu& v = list[seq % policy.num_vhpus];
-  v.queue.push_back(std::move(task));
+  v.queue.push_back(std::move(item));
   if (!v.running && !v.ready_listed) {
     v.ready_listed = true;
     ready_.push_back(Runnable{{}, &v});
@@ -34,42 +52,58 @@ void Scheduler::dispatch() {
       v.ready_listed = false;
       if (v.queue.empty()) continue;  // raced: packets already drained
       v.running = true;
-      Task task = std::move(v.queue.front());
+      Pending item = std::move(v.queue.front());
       v.queue.pop_front();
       ++busy_;
       busy_hpus_->set(busy_);
+      const std::uint32_t hpu = acquire_hpu();
       // Re-dispatching a yielded vHPU costs a context switch.
       vhpu_switches_->add(1);
       const sim::Time switch_cost = cost_->vhpu_switch;
+      if (tracer_ != nullptr && tracer_->events_on()) {
+        tracer_->complete(hpu_tracks_[hpu], "vhpu switch", engine_->now(),
+                          engine_->now() + switch_cost,
+                          static_cast<std::int64_t>(item.msg), item.pkt);
+      }
       engine_->schedule(switch_cost,
-                        [this, task = std::move(task), owner = &v]() mutable {
-                          run_task(std::move(task), owner);
+                        [this, item = std::move(item), owner = &v,
+                         hpu]() mutable {
+                          run_task(std::move(item), owner, hpu);
                         });
     } else {
       ++busy_;
       busy_hpus_->set(busy_);
-      run_task(std::move(r.task), nullptr);
+      run_task(std::move(r.item), nullptr, acquire_hpu());
     }
   }
 }
 
-void Scheduler::run_task(Task task, Vhpu* owner) {
+void Scheduler::run_task(Pending item, Vhpu* owner, std::uint32_t hpu) {
   const sim::Time start = engine_->now();
-  const sim::Time runtime = task(start);
+  const sim::Time runtime = item.task(start);
   handlers_run_->add(1);
   handler_time_->add(static_cast<std::uint64_t>(runtime));
-  engine_->schedule(runtime, [this, owner] {
+  if (tracer_ != nullptr) {
+    tracer_->latency(sim::trace::Stage::kHpuWait, start - item.enqueued);
+    tracer_->latency(sim::trace::Stage::kHandler, runtime);
+    if (tracer_->events_on()) {
+      tracer_->complete(hpu_tracks_[hpu], item.label, start, start + runtime,
+                        static_cast<std::int64_t>(item.msg), item.pkt);
+    }
+  }
+  engine_->schedule(runtime, [this, owner, hpu] {
     if (owner != nullptr && !owner->queue.empty()) {
       // The vHPU keeps its HPU while it has pending packets.
-      Task next = std::move(owner->queue.front());
+      Pending next = std::move(owner->queue.front());
       owner->queue.pop_front();
-      run_task(std::move(next), owner);
+      run_task(std::move(next), owner, hpu);
       return;
     }
     if (owner != nullptr) owner->running = false;
     assert(busy_ > 0);
     --busy_;
     busy_hpus_->set(busy_);
+    free_hpus_.push_back(hpu);
     dispatch();
   });
 }

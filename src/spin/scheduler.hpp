@@ -8,16 +8,24 @@
 //    A vHPU serializes its packets; vHPUs with pending work compete for
 //    physical HPUs. A vHPU keeps its HPU while it has queued packets and
 //    yields otherwise — re-dispatching charges a context-switch cost.
+//
+// Tracing: when a Tracer is attached, every handler run becomes a span
+// on its physical HPU's track (named by the strategy label, correlated
+// by msg/pkt ids), the enqueue->start delay feeds the hpu_wait latency
+// histogram and the runtime feeds the handler histogram. HPU ids are
+// assigned lowest-free-first; assignment never influences timing.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/trace/trace.hpp"
 #include "spin/cost_model.hpp"
 #include "spin/handler.hpp"
 
@@ -41,12 +49,29 @@ class Scheduler {
     handler_time_ = &metrics->counter("nic.sched.handler_time_ps");
     vhpu_switches_ = &metrics->counter("nic.sched.vhpu_switches");
     busy_hpus_ = &metrics->gauge("nic.sched.busy_hpus");
+    free_hpus_.reserve(hpus_);
+    for (std::uint32_t i = hpus_; i > 0; --i) free_hpus_.push_back(i - 1);
   }
 
   /// Enqueue a handler for packet `pkt_index` of message `msg_id` under
-  /// `policy` at the current simulated time.
+  /// `policy` at the current simulated time. `label` names the handler
+  /// span in traces (must outlive the run — a literal or interned
+  /// string); `trace_pkt` is the packet correlation id (-1 = none, e.g.
+  /// completion handlers).
   void enqueue(std::uint64_t msg_id, const SchedulingPolicy& policy,
-               std::uint64_t pkt_index, Task task);
+               std::uint64_t pkt_index, Task task,
+               const char* label = "handler", std::int64_t trace_pkt = -1);
+  /// Same, with the trace context ahead of the task — reads better at
+  /// call sites where the task is a long lambda.
+  void enqueue(std::uint64_t msg_id, const SchedulingPolicy& policy,
+               std::uint64_t pkt_index, const char* label,
+               std::int64_t trace_pkt, Task task) {
+    enqueue(msg_id, policy, pkt_index, std::move(task), label, trace_pkt);
+  }
+
+  /// Attach an event tracer (nullptr detaches); registers one track per
+  /// physical HPU.
+  void set_tracer(sim::trace::Tracer* tracer);
 
   std::uint32_t hpus() const { return hpus_; }
   std::uint32_t busy() const { return busy_; }
@@ -60,18 +85,31 @@ class Scheduler {
   void release_message(std::uint64_t msg_id) { vhpus_.erase(msg_id); }
 
  private:
+  /// A queued handler plus the context needed to trace it.
+  struct Pending {
+    Task task;
+    sim::Time enqueued = 0;
+    const char* label = "handler";
+    std::uint64_t msg = 0;
+    std::int64_t pkt = -1;
+  };
   struct Vhpu {
-    std::deque<Task> queue;
+    std::deque<Pending> queue;
     bool running = false;
     bool ready_listed = false;  // sitting in the ready queue
   };
   struct Runnable {
-    Task task;          // default-policy task, or
-    Vhpu* vhpu = nullptr;  // a vHPU to resume
+    Pending item;           // default-policy task, or
+    Vhpu* vhpu = nullptr;   // a vHPU to resume
   };
 
   void dispatch();
-  void run_task(Task task, Vhpu* owner);
+  void run_task(Pending item, Vhpu* owner, std::uint32_t hpu);
+  std::uint32_t acquire_hpu() {
+    const std::uint32_t hpu = free_hpus_.back();
+    free_hpus_.pop_back();
+    return hpu;
+  }
 
   sim::Engine* engine_;
   const CostModel* cost_;
@@ -79,12 +117,19 @@ class Scheduler {
   std::uint32_t busy_ = 0;
   std::deque<Runnable> ready_;
   std::unordered_map<std::uint64_t, std::vector<Vhpu>> vhpus_;
+  // Stack of idle physical HPU ids (initially 0 on top). Deterministic
+  // LIFO reuse; the assignment only labels trace tracks, never timing.
+  std::vector<std::uint32_t> free_hpus_;
 
   std::unique_ptr<sim::MetricsRegistry> local_metrics_;
   sim::Counter* handlers_run_;   // nic.sched.handlers_run
   sim::Counter* handler_time_;   // nic.sched.handler_time_ps
   sim::Counter* vhpu_switches_;  // nic.sched.vhpu_switches
   sim::Gauge* busy_hpus_;        // nic.sched.busy_hpus
+
+  sim::trace::Tracer* tracer_ = nullptr;
+  std::vector<std::uint32_t> hpu_tracks_;
+  std::uint32_t sched_track_ = 0;
 };
 
 }  // namespace netddt::spin

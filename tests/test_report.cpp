@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/lib/experiment.hpp"
 #include "bench/lib/report.hpp"
 #include "ddt/datatype.hpp"
 #include "offload/runner.hpp"
+#include "sim/trace/chrome.hpp"
 
 namespace netddt::bench {
 namespace {
@@ -150,6 +154,95 @@ TEST(ReportDocument, DeterministicAndRoundTrips) {
   auto parsed = Json::parse(a);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->dump(), a);  // parser round-trips dump() exactly
+}
+
+// ---------------------------------------------------------------------
+// Golden schema check of the Chrome trace-event export (--trace output).
+
+std::string tiny_traced_chrome() {
+  sim::trace::Collector collector;
+  for (std::int64_t block : {128, 2048}) {
+    offload::ReceiveConfig cfg;
+    cfg.type = ddt::Datatype::hvector((1 << 16) / block, block, 2 * block,
+                                      ddt::Datatype::int8());
+    cfg.strategy = offload::StrategyKind::kRwCp;
+    cfg.seed = 17;
+    cfg.trace.events = true;
+    cfg.trace.stats = true;
+    auto run = offload::run_receive(cfg);
+    collector.add("tiny/b" + std::to_string(block), std::move(run.tracer));
+  }
+  std::ostringstream out;
+  collector.write(out);
+  return out.str();
+}
+
+TEST(ChromeTrace, GoldenSchemaShape) {
+  const std::string text = tiny_traced_chrome();
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << "trace is not valid JSON";
+
+  const Json* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GT(events->size(), 0u);
+
+  // Every event carries ph/ts/pid; tid everywhere except process-scoped
+  // metadata; B/E spans stay balanced per (pid, tid).
+  std::map<std::pair<std::int64_t, std::int64_t>, int> depth;
+  std::size_t metadata = 0, spans = 0;
+  for (const Json& e : events->items()) {
+    ASSERT_TRUE(e.is_object());
+    const Json* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_EQ(ph->as_string().size(), 1u);
+    EXPECT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    const char p = ph->as_string()[0];
+    if (p == 'M') {
+      ++metadata;
+      continue;
+    }
+    ASSERT_NE(e.find("tid"), nullptr);
+    const auto key = std::make_pair(e.find("pid")->as_int(),
+                                    e.find("tid")->as_int());
+    if (p == 'B') ++depth[key];
+    if (p == 'E') {
+      ++spans;
+      --depth[key];
+      EXPECT_GE(depth[key], 0);
+    }
+  }
+  EXPECT_GT(metadata, 0u);  // process_name / thread_name present
+  EXPECT_GT(spans, 0u);
+  for (const auto& [key, d] : depth) EXPECT_EQ(d, 0) << key.first;
+
+  // Two runs -> two distinct pids.
+  std::map<std::int64_t, int> pids;
+  for (const Json& e : events->items()) ++pids[e.find("pid")->as_int()];
+  EXPECT_EQ(pids.size(), 2u);
+
+  // The embedded per-stage summaries cover both runs with all stages.
+  const Json* stages = parsed->find("netddtStages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_TRUE(stages->is_object());
+  EXPECT_EQ(stages->size(), 2u);
+  for (const auto& [run, s] : stages->members()) {
+    for (const char* stage : {"inbound", "match", "hpu_wait", "handler",
+                              "dma_queue_wait", "pcie_transfer"}) {
+      const Json* st = s.find(stage);
+      ASSERT_NE(st, nullptr) << run << "/" << stage;
+      EXPECT_GT(st->find("count")->as_int(), 0) << run << "/" << stage;
+      EXPECT_GE(st->find("p99_ps")->as_double(),
+                st->find("p50_ps")->as_double());
+      EXPECT_GE(st->find("max_ps")->as_int(), st->find("min_ps")->as_int());
+    }
+    EXPECT_EQ(s.find("dropped_events")->as_int(), 0);
+  }
+}
+
+TEST(ChromeTrace, ByteDeterministicAtFixedSeed) {
+  EXPECT_EQ(tiny_traced_chrome(), tiny_traced_chrome());
 }
 
 }  // namespace

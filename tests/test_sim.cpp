@@ -147,6 +147,28 @@ TEST(Metrics, SeriesTimeWeightedMean) {
   EXPECT_EQ(s.size(), 2u);
 }
 
+TEST(Metrics, SeriesFinalizeClosesAtEndTime) {
+  MetricsRegistry reg;
+  Series& s = reg.series("depth");
+  s.record(0, 2.0);
+  s.record(10, 6.0);
+  reg.finalize_series(25);
+  // A closing point at the end time holding the last value...
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.points().back().first, 25);
+  EXPECT_DOUBLE_EQ(s.points().back().second, 6.0);
+  // ...so the time-weighted mean over the full interval is unchanged.
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(25), (2.0 * 10 + 6.0 * 15) / 25);
+  // Idempotent: finalizing again at the same (or earlier) end is a no-op.
+  s.finalize(25);
+  s.finalize(20);
+  EXPECT_EQ(s.size(), 3u);
+  // An empty series stays empty.
+  Series& empty = reg.series("untouched");
+  empty.finalize(25);
+  EXPECT_EQ(empty.size(), 0u);
+}
+
 TEST(Metrics, SnapshotIsDetachedCopy) {
   MetricsRegistry reg;
   reg.counter("c").add(2);

@@ -72,7 +72,10 @@ TEST(Dma, QueueDepthTracksBacklog) {
   CostModel cost;
   std::vector<std::byte> host(1 << 16);
   DmaEngine dma(eng, cost, host);
-  dma.enable_trace(true);
+  sim::trace::TraceConfig tc;
+  tc.events = true;
+  sim::trace::Tracer tracer(tc);
+  dma.set_tracer(&tracer);
   const auto src = pattern(4096);
   // Enqueue 10 requests at t=0: they serialize through the engine.
   for (int i = 0; i < 10; ++i) {
@@ -82,6 +85,7 @@ TEST(Dma, QueueDepthTracksBacklog) {
   EXPECT_EQ(dma.max_queue_depth(), 10u);
   EXPECT_EQ(dma.total_writes(), 10u);
   EXPECT_FALSE(dma.depth_trace().empty());
+  EXPECT_FALSE(tracer.events().empty());
 }
 
 TEST(Dma, ServiceRateMatchesPcieBandwidth) {

@@ -1,0 +1,337 @@
+// Tests for the event-tracing subsystem: histogram bucket/percentile
+// math, tracer recording semantics (tracks, spans, correlation ids, the
+// event cap), the zero-cost disabled path, and end-to-end pipeline
+// instrumentation through offload::run_receive.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "ddt/datatype.hpp"
+#include "offload/runner.hpp"
+#include "sim/trace/histogram.hpp"
+#include "sim/trace/trace.hpp"
+
+namespace netddt::sim::trace {
+namespace {
+
+TEST(Histogram, BucketIndexAndBounds) {
+  EXPECT_EQ(Histogram::bucket_index(-5), 0u);
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+
+  // Every positive value lies in [bucket_lo, bucket_hi) of its bucket.
+  for (std::int64_t v : {1, 2, 3, 7, 8, 100, 4096, 1'000'000'007}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_GE(v, Histogram::bucket_lo(i)) << v;
+    EXPECT_LT(v, Histogram::bucket_hi(i)) << v;
+  }
+  EXPECT_EQ(Histogram::bucket_lo(0), 0);
+  EXPECT_EQ(Histogram::bucket_hi(0), 1);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, ConstantSamplesReportExactly) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(119'000);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 119'000);
+  EXPECT_EQ(h.max(), 119'000);
+  EXPECT_DOUBLE_EQ(h.mean(), 119'000.0);
+  // Clamping to [min, max] makes every percentile exact here.
+  for (double p : {0.0, 1.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 119'000.0) << p;
+  }
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndBounded) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 10'000; ++v) h.add(v);
+  double prev = h.percentile(0);
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // p0 = exact min
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = h.percentile(p);
+    EXPECT_GE(cur, prev) << p;
+    EXPECT_GE(cur, 1.0);
+    EXPECT_LE(cur, 10'000.0);
+    // Log-bucket error bound: the estimate is within the containing
+    // power-of-two bucket, i.e. within 2x of the true quantile.
+    const double truth = p / 100.0 * 10'000.0;
+    if (truth >= 1.0) {
+      EXPECT_LE(cur, 2.0 * truth) << p;
+      EXPECT_GE(cur, truth / 2.0) << p;
+    }
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10'000.0);  // p100 = exact max
+}
+
+TEST(Histogram, MergeMatchesCombinedAdds) {
+  Histogram a, b, both;
+  for (std::int64_t v : {5, 80, 300, 10'000}) {
+    a.add(v);
+    both.add(v);
+  }
+  for (std::int64_t v : {1, 2, 70'000}) {
+    b.add(v);
+    both.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), both.percentile(p)) << p;
+  }
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  const auto before = a.count();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), before);
+}
+
+TEST(Tracer, TracksAreIdempotentAndNamed) {
+  TraceConfig tc;
+  tc.events = true;
+  Tracer t(tc);
+  const auto a = t.track("dma");
+  const auto b = t.track("hpu 0");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.track("dma"), a);  // same name -> same id
+  ASSERT_EQ(t.tracks().size(), 2u);
+  EXPECT_EQ(t.tracks()[a], "dma");
+  EXPECT_EQ(t.tracks()[b], "hpu 0");
+}
+
+TEST(Tracer, RecordsSpansInstantsAndCounters) {
+  TraceConfig tc;
+  tc.events = true;
+  Tracer t(tc);
+  const auto track = t.track("hpu 0");
+  t.begin(track, "handler", 100, /*msg=*/1, /*pkt=*/7);
+  t.end(track, "handler", 250);
+  t.instant(track, "her", 90, 1, 7);
+  t.counter(track, "depth", 300, 4.0);
+  t.complete(track, "dma write", 400, 450, 1);
+  ASSERT_EQ(t.events().size(), 6u);
+  EXPECT_EQ(t.events()[0].ph, 'B');
+  EXPECT_EQ(t.events()[0].msg, 1);
+  EXPECT_EQ(t.events()[0].pkt, 7);
+  EXPECT_EQ(t.events()[1].ph, 'E');
+  EXPECT_EQ(t.events()[2].ph, 'i');
+  EXPECT_EQ(t.events()[3].ph, 'C');
+  EXPECT_DOUBLE_EQ(t.events()[3].value, 4.0);
+  EXPECT_EQ(t.events()[4].ph, 'B');
+  EXPECT_EQ(t.events()[4].ts, 400);
+  EXPECT_EQ(t.events()[5].ph, 'E');
+  EXPECT_EQ(t.events()[5].ts, 450);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer t;  // default config: everything off
+  EXPECT_FALSE(t.events_on());
+  EXPECT_FALSE(t.stats_on());
+  const auto track = t.track("x");
+  t.begin(track, "a", 0);
+  t.end(track, "a", 1);
+  t.instant(track, "b", 2);
+  t.counter(track, "c", 3, 1.0);
+  t.latency(Stage::kHandler, 500);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.histogram(Stage::kHandler).count(), 0u);
+}
+
+TEST(Tracer, EventCapDropsSpansAtomically) {
+  TraceConfig tc;
+  tc.events = true;
+  tc.max_events = 5;  // odd on purpose: a span needs 2 slots
+  Tracer t(tc);
+  const auto track = t.track("x");
+  for (int i = 0; i < 10; ++i) {
+    t.complete(track, "s", i * 10, i * 10 + 5);
+  }
+  // 2 full spans fit (4 events); the 3rd would straddle the cap and is
+  // dropped whole, as are the remaining 7.
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped(), 16u);
+  std::size_t b = 0, e = 0;
+  for (const auto& ev : t.events()) {
+    if (ev.ph == 'B') ++b;
+    if (ev.ph == 'E') ++e;
+  }
+  EXPECT_EQ(b, e);  // balanced even under the cap
+}
+
+TEST(Tracer, StatsGatedIndependentlyOfEvents) {
+  TraceConfig tc;
+  tc.stats = true;  // events stay off
+  Tracer t(tc);
+  t.latency(Stage::kDmaQueueWait, 1000);
+  t.latency(Stage::kDmaQueueWait, 3000);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.histogram(Stage::kDmaQueueWait).count(), 2u);
+  EXPECT_EQ(t.histogram(Stage::kDmaQueueWait).max(), 3000);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: instrumentation through the full receive pipeline.
+
+offload::ReceiveConfig small_receive(bool events, bool stats) {
+  offload::ReceiveConfig cfg;
+  cfg.type = ddt::Datatype::hvector(1024, 256, 512, ddt::Datatype::int8());
+  cfg.count = 1;
+  cfg.strategy = offload::StrategyKind::kRwCp;
+  cfg.hpus = 4;
+  cfg.trace.events = events;
+  cfg.trace.stats = stats;
+  return cfg;
+}
+
+TEST(Pipeline, DisabledTracingMeansNoTracer) {
+  auto run = offload::run_receive(small_receive(false, false));
+  EXPECT_EQ(run.tracer, nullptr);
+  EXPECT_TRUE(run.dma_trace.empty());
+  EXPECT_TRUE(run.result.verified);
+}
+
+TEST(Pipeline, TracingDoesNotChangeResults) {
+  auto plain = offload::run_receive(small_receive(false, false));
+  auto traced = offload::run_receive(small_receive(true, true));
+  EXPECT_EQ(plain.result.e2e_time, traced.result.e2e_time);
+  EXPECT_EQ(plain.result.msg_time, traced.result.msg_time);
+  EXPECT_EQ(plain.result.dma_writes, traced.result.dma_writes);
+  EXPECT_EQ(plain.result.dma_queue_peak, traced.result.dma_queue_peak);
+  EXPECT_EQ(plain.result.handlers, traced.result.handlers);
+}
+
+TEST(Pipeline, SpansBalancedAndTracksAssigned) {
+  auto run = offload::run_receive(small_receive(true, false));
+  ASSERT_NE(run.tracer, nullptr);
+  const Tracer& t = *run.tracer;
+  ASSERT_FALSE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+
+  // Expected pipeline tracks all present.
+  std::map<std::string, std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < t.tracks().size(); ++i) {
+    ids[t.tracks()[i]] = i;
+  }
+  for (const char* name :
+       {"engine", "inbound", "scheduler", "hpu 0", "hpu 3", "dma",
+        "dma queue", "link", "message", "offload"}) {
+    EXPECT_TRUE(ids.count(name)) << name;
+  }
+
+  // B/E balanced per track; every event's track id is registered.
+  std::map<std::uint32_t, int> depth;
+  for (const auto& ev : t.events()) {
+    ASSERT_LT(ev.track, t.tracks().size());
+    if (ev.ph == 'B') ++depth[ev.track];
+    if (ev.ph == 'E') --depth[ev.track];
+    EXPECT_GE(depth[ev.track], 0);
+  }
+  for (const auto& [track, d] : depth) EXPECT_EQ(d, 0) << track;
+
+  // engine_events defaults off: no dispatch spans on the engine track.
+  for (const auto& ev : t.events()) {
+    EXPECT_NE(ev.track, ids["engine"]);
+  }
+}
+
+TEST(Pipeline, CorrelationIdsFollowPacketAcrossStages) {
+  auto run = offload::run_receive(small_receive(true, false));
+  ASSERT_NE(run.tracer, nullptr);
+  const Tracer& t = *run.tracer;
+  std::map<std::string, std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < t.tracks().size(); ++i) {
+    ids[t.tracks()[i]] = i;
+  }
+
+  // Packet 3 of message 1 must appear at: arrival (inbound), HER
+  // (scheduler), handler span (some hpu track), wire span (link).
+  bool arrived = false, her = false, handled = false, wired = false;
+  for (const auto& ev : t.events()) {
+    if (ev.msg != 1 || ev.pkt != 3) continue;
+    const std::string& track = t.tracks()[ev.track];
+    if (ev.ph == 'i' && track == "inbound") arrived = true;
+    if (ev.ph == 'i' && track == "scheduler") her = true;
+    if (ev.ph == 'B' && track.rfind("hpu ", 0) == 0) handled = true;
+    if (ev.ph == 'B' && track == "link") wired = true;
+  }
+  EXPECT_TRUE(arrived);
+  EXPECT_TRUE(her);
+  EXPECT_TRUE(handled);
+  EXPECT_TRUE(wired);
+
+  // Handler spans carry the strategy label.
+  bool labeled = false;
+  for (const auto& ev : t.events()) {
+    if (ev.ph == 'B' && std::string(ev.name) == "RW-CP") labeled = true;
+  }
+  EXPECT_TRUE(labeled);
+}
+
+TEST(Pipeline, StageHistogramsPopulated) {
+  auto run = offload::run_receive(small_receive(false, true));
+  ASSERT_NE(run.tracer, nullptr);
+  const Tracer& t = *run.tracer;
+  EXPECT_TRUE(t.events().empty());  // stats-only mode records no timeline
+  // At least one inbound sample per packet (deferred packets released
+  // after the header handler pay the inbound stage again).
+  EXPECT_GE(t.histogram(Stage::kInbound).count(), run.result.packets);
+  EXPECT_EQ(t.histogram(Stage::kMatch).count(), 1u);
+  EXPECT_GE(t.histogram(Stage::kHpuWait).count(), run.result.packets);
+  EXPECT_GE(t.histogram(Stage::kHandler).count(), run.result.handlers);
+  EXPECT_EQ(t.histogram(Stage::kDmaQueueWait).count(),
+            run.result.dma_writes);
+  EXPECT_EQ(t.histogram(Stage::kPcieTransfer).count(),
+            run.result.dma_writes);
+  // Handler runtimes are nonzero and bounded by the message time.
+  EXPECT_GT(t.histogram(Stage::kHandler).min(), 0);
+  EXPECT_LE(t.histogram(Stage::kHandler).max(), run.result.msg_time);
+}
+
+TEST(Pipeline, Fig15SeriesStillRecordedViaTracer) {
+  auto cfg = small_receive(true, false);
+  auto run = offload::run_receive(cfg);
+  // The Fig 15 queue-depth trace rides on the tracer now.
+  ASSERT_FALSE(run.dma_trace.empty());
+  // Samples are time-ordered and end when the queue drains to zero.
+  for (std::size_t i = 1; i < run.dma_trace.size(); ++i) {
+    EXPECT_LE(run.dma_trace[i - 1].first, run.dma_trace[i].first);
+  }
+  EXPECT_EQ(run.dma_trace.back().second, 0u);
+}
+
+TEST(Pipeline, EngineEventsOptInAddsDispatchSpans) {
+  auto cfg = small_receive(true, false);
+  cfg.trace.engine_events = true;
+  auto run = offload::run_receive(cfg);
+  ASSERT_NE(run.tracer, nullptr);
+  bool dispatch = false;
+  for (const auto& ev : run.tracer->events()) {
+    if (ev.ph == 'B' && std::string(ev.name) == "dispatch") dispatch = true;
+  }
+  EXPECT_TRUE(dispatch);
+}
+
+}  // namespace
+}  // namespace netddt::sim::trace
