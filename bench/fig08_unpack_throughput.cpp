@@ -34,20 +34,35 @@ NETDDT_EXPERIMENT(fig08,
   for (auto k : kinds) columns.emplace_back(strategy_name(k));
   auto& t = report.table("throughput", columns).unit("Gbit/s");
 
+  // Every (block, strategy) point is an independent simulation: fan out
+  // through the pool, then build the table serially from the collected
+  // runs (submission order), which keeps output identical to --jobs 1.
+  bench::Sweep<offload::ReceiveRun> sweep(params.executor);
+  const auto tc = params.trace_config();
+  for (std::int64_t block : blocks) {
+    for (auto kind : kinds) {
+      sweep.submit([block, kind, hpus, seed, tc] {
+        offload::ReceiveConfig cfg;
+        cfg.type = ddt::Datatype::hvector(
+            static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
+            ddt::Datatype::int8());
+        cfg.strategy = kind;
+        cfg.hpus = hpus;
+        cfg.seed = seed;
+        cfg.verify = false;  // correctness covered by the test suite
+        cfg.trace = tc;
+        return offload::run_receive(cfg);
+      });
+    }
+  }
+  auto runs = sweep.collect();
+
+  std::size_t i = 0;
   for (std::int64_t block : blocks) {
     std::vector<bench::Cell> row = {bench::cell_bytes(
         static_cast<double>(block))};
     for (auto kind : kinds) {
-      offload::ReceiveConfig cfg;
-      cfg.type = ddt::Datatype::hvector(
-          static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
-          ddt::Datatype::int8());
-      cfg.strategy = kind;
-      cfg.hpus = hpus;
-      cfg.seed = seed;
-      cfg.verify = false;  // correctness covered by the test suite
-      cfg.trace = params.trace_config();
-      auto run = offload::run_receive(cfg);
+      auto& run = runs[i++];
       row.push_back(bench::cell(run.result.throughput_gbps(), 1));
       report.counters(run.metrics);
       params.observe(report, std::move(run.tracer),

@@ -24,20 +24,33 @@ NETDDT_EXPERIMENT(fig14, "max DMA queue occupancy vs regions/packet") {
   columns.emplace_back("total writes");
   auto& t = report.table("max dma queue occupancy", columns);
 
+  // Independent (gamma, strategy) points: fan out, consume in order.
+  bench::Sweep<offload::ReceiveRun> sweep(params.executor);
+  const auto tc = params.trace_config();
   for (int gamma : gammas) {
     const std::int64_t block = 2048 / gamma;
+    for (auto kind : kinds) {
+      sweep.submit([block, kind, hpus, tc] {
+        offload::ReceiveConfig cfg;
+        cfg.type = ddt::Datatype::hvector(
+            static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
+            ddt::Datatype::int8());
+        cfg.strategy = kind;
+        cfg.hpus = hpus;
+        cfg.verify = false;
+        cfg.trace = tc;
+        return offload::run_receive(cfg);
+      });
+    }
+  }
+  auto runs = sweep.collect();
+
+  std::size_t i = 0;
+  for (int gamma : gammas) {
     std::vector<bench::Cell> row = {bench::cell(gamma)};
     std::uint64_t total = 0;
     for (auto kind : kinds) {
-      offload::ReceiveConfig cfg;
-      cfg.type = ddt::Datatype::hvector(
-          static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
-          ddt::Datatype::int8());
-      cfg.strategy = kind;
-      cfg.hpus = hpus;
-      cfg.verify = false;
-      cfg.trace = params.trace_config();
-      auto run = offload::run_receive(cfg);
+      auto& run = runs[i++];
       report.counters(run.metrics);
       row.push_back(bench::cell(run.result.dma_queue_peak));
       total = run.result.dma_writes;

@@ -25,16 +25,32 @@ NETDDT_EXPERIMENT(fig16, "app-DDT speedup over host unpacking") {
   auto workloads = apps::fig16_workloads();
   if (params.smoke && workloads.size() > 4) workloads.resize(4);
 
+  // 4 runs per workload (host baseline + 3 offload strategies), all
+  // independent: fan out, then assemble rows in submission order.
+  const std::uint64_t seed = params.seed_or(1);
+  constexpr StrategyKind kOffloadKinds[] = {
+      StrategyKind::kRwCp, StrategyKind::kSpecialized, StrategyKind::kIovec};
+  bench::Sweep<offload::ReceiveRun> sweep(params.executor);
   for (const auto& w : workloads) {
-    offload::ReceiveConfig base;
-    base.type = w.type;
-    base.count = w.count;
-    base.seed = params.seed_or(1);
-    base.verify = false;
+    auto submit = [&](StrategyKind kind) {
+      sweep.submit([type = w.type, count = w.count, seed, kind] {
+        offload::ReceiveConfig cfg;
+        cfg.type = type;
+        cfg.count = count;
+        cfg.seed = seed;
+        cfg.verify = false;
+        cfg.strategy = kind;
+        return offload::run_receive(cfg);
+      });
+    };
+    submit(StrategyKind::kHostUnpack);
+    for (auto kind : kOffloadKinds) submit(kind);
+  }
+  auto runs = sweep.collect();
 
-    auto host = base;
-    host.strategy = StrategyKind::kHostUnpack;
-    const auto h = offload::run_receive(host).result;
+  std::size_t i = 0;
+  for (const auto& w : workloads) {
+    const auto h = runs[i++].result;
 
     std::vector<bench::Cell> row = {
         bench::cell(w.app), bench::cell(w.ddt_kind),
@@ -42,11 +58,8 @@ NETDDT_EXPERIMENT(fig16, "app-DDT speedup over host unpacking") {
         bench::cell(sim::to_us(h.msg_time), 1),
         bench::cell(static_cast<double>(h.message_bytes) / 1024.0, 1)};
 
-    for (auto kind : {StrategyKind::kRwCp, StrategyKind::kSpecialized,
-                      StrategyKind::kIovec}) {
-      auto cfg = base;
-      cfg.strategy = kind;
-      const auto run = offload::run_receive(cfg);
+    for ([[maybe_unused]] auto kind : kOffloadKinds) {
+      const auto& run = runs[i++];
       report.counters(run.metrics);
       const auto& r = run.result;
       const double speedup = static_cast<double>(h.msg_time) /

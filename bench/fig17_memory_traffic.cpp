@@ -22,16 +22,26 @@ NETDDT_EXPERIMENT(fig17, "main-memory traffic: RW-CP vs host unpacking") {
 
   auto& t = report.table("transfer volume per workload",
                          {"app", "ddt", "RW-CP(KiB)", "host(KiB)"});
+  // Two independent runs per workload; fan out, consume in order.
+  bench::Sweep<offload::ReceiveRun> sweep(params.executor);
   for (const auto& w : workloads) {
-    offload::ReceiveConfig cfg;
-    cfg.type = w.type;
-    cfg.count = w.count;
-    cfg.verify = false;
-    cfg.strategy = StrategyKind::kRwCp;
-    const auto rw_run = offload::run_receive(cfg);
+    for (auto kind : {StrategyKind::kRwCp, StrategyKind::kHostUnpack}) {
+      sweep.submit([type = w.type, count = w.count, kind] {
+        offload::ReceiveConfig cfg;
+        cfg.type = type;
+        cfg.count = count;
+        cfg.verify = false;
+        cfg.strategy = kind;
+        return offload::run_receive(cfg);
+      });
+    }
+  }
+  auto runs = sweep.collect();
+  std::size_t i = 0;
+  for (const auto& w : workloads) {
+    const auto& rw_run = runs[i++];
     report.counters(rw_run.metrics);
-    cfg.strategy = StrategyKind::kHostUnpack;
-    const auto host_run = offload::run_receive(cfg);
+    const auto& host_run = runs[i++];
     report.counters(host_run.metrics);
 
     rw_vol.push_back(

@@ -21,17 +21,26 @@ NETDDT_EXPERIMENT(fig18, "datatype reuses to amortize checkpoint creation") {
   auto workloads = apps::fig16_workloads();
   if (params.smoke && workloads.size() > 4) workloads.resize(4);
 
+  // (RW-CP, host) pair per workload, fanned out through the pool.
+  bench::Sweep<offload::ReceiveRun> sweep(params.executor);
   for (const auto& w : workloads) {
-    offload::ReceiveConfig cfg;
-    cfg.type = w.type;
-    cfg.count = w.count;
-    cfg.verify = false;
-    cfg.strategy = StrategyKind::kRwCp;
-    const auto rw_run = offload::run_receive(cfg);
+    for (auto kind : {StrategyKind::kRwCp, StrategyKind::kHostUnpack}) {
+      sweep.submit([type = w.type, count = w.count, kind] {
+        offload::ReceiveConfig cfg;
+        cfg.type = type;
+        cfg.count = count;
+        cfg.verify = false;
+        cfg.strategy = kind;
+        return offload::run_receive(cfg);
+      });
+    }
+  }
+  auto runs = sweep.collect();
+  for (std::size_t i = 0; i < runs.size(); i += 2) {
+    const auto& rw_run = runs[i];
     report.counters(rw_run.metrics);
-    const auto rw = rw_run.result;
-    cfg.strategy = StrategyKind::kHostUnpack;
-    const auto host = offload::run_receive(cfg).result;
+    const auto& rw = rw_run.result;
+    const auto& host = runs[i + 1].result;
 
     const double gain = static_cast<double>(host.msg_time - rw.msg_time);
     if (gain <= 0.0) continue;  // no win -> never amortizes; not plotted

@@ -1,6 +1,7 @@
 #include "bench/lib/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +15,12 @@ namespace {
 std::vector<Experiment>& registry() {
   static std::vector<Experiment> experiments;
   return experiments;
+}
+
+// Set by Registration, cleared by the lazy sort in experiments().
+bool& registry_dirty() {
+  static bool dirty = false;
+  return dirty;
 }
 
 bool parse_u32(const char* s, std::uint32_t* out) {
@@ -49,6 +56,10 @@ void usage(const char* argv0) {
       "  --seed N        override the experiment seed\n"
       "  --line-rate G   override the link rate (Gbit/s)\n"
       "  --json PATH     write the machine-readable report\n"
+      "  --jobs N        thread count for experiments + sweep points\n"
+      "                  (0 = hardware concurrency, default 1;\n"
+      "                  output is bit-identical for every N)\n"
+      "  --perf          report wall_ms / events_per_sec telemetry\n"
       "  --trace PATH    write a Chrome trace-event JSON (Perfetto)\n"
       "  --trace-limit N cap recorded events per run (default 1048576)\n"
       "  --percentiles   report per-stage latency percentiles\n"
@@ -70,16 +81,25 @@ std::vector<std::string> split_csv(const char* s) {
 
 }  // namespace
 
-const std::vector<Experiment>& experiments() { return registry(); }
+const std::vector<Experiment>& experiments() {
+  // Deterministic enumeration order regardless of link order. Sorted
+  // lazily on first use instead of on every Registration (static-init
+  // time was quadratic-ish in the number of figures linked into
+  // run_all). Called from the main thread before any pool spins up.
+  if (registry_dirty()) {
+    std::sort(registry().begin(), registry().end(),
+              [](const Experiment& a, const Experiment& b) {
+                return a.name < b.name;
+              });
+    registry_dirty() = false;
+  }
+  return registry();
+}
 
 Registration::Registration(const char* name, const char* title,
                            void (*run)(Report&, const Params&)) {
   registry().push_back(Experiment{name, title, run});
-  // Deterministic enumeration order regardless of link order.
-  std::sort(registry().begin(), registry().end(),
-            [](const Experiment& a, const Experiment& b) {
-              return a.name < b.name;
-            });
+  registry_dirty() = true;
 }
 
 Json make_document(const std::vector<Json>& experiment_reports) {
@@ -97,6 +117,8 @@ int bench_main(int argc, char** argv) {
   std::string json_path;
   std::vector<std::string> only;
   bool list_only = false;
+  bool perf = false;
+  std::uint32_t jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -140,6 +162,11 @@ int bench_main(int argc, char** argv) {
       const char* v = next();
       ok = v != nullptr;
       if (ok) json_path = v;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      const char* v = next();
+      ok = v != nullptr && parse_u32(v, &jobs);
+    } else if (std::strcmp(arg, "--perf") == 0) {
+      perf = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
       const char* v = next();
       ok = v != nullptr;
@@ -173,30 +200,72 @@ int bench_main(int argc, char** argv) {
     return 0;
   }
 
-  if (params.trace_path) {
-    params.collector = std::make_shared<sim::trace::Collector>();
-  }
-
-  std::vector<Json> reports;
-  bool ran_any = false;
+  std::vector<const Experiment*> selected;
   for (const auto& e : experiments()) {
     if (!only.empty() &&
         std::find(only.begin(), only.end(), e.name) == only.end()) {
       continue;
     }
-    ran_any = true;
-    Report report(e.name, e.title);
-    params.bind(&report);
-    if (params.smoke) report.param("smoke", Json{true});
-    e.run(report, params);
-    params.bind(nullptr);
-    report.print();
-    reports.push_back(report.to_json());
+    selected.push_back(&e);
   }
-  if (!ran_any) {
+  if (selected.empty()) {
     std::fprintf(stderr, "no experiments matched\n");
     return 2;
   }
+
+  const bool tracing = params.trace_path.has_value();
+  auto merged_collector =
+      tracing ? std::make_shared<sim::trace::Collector>() : nullptr;
+
+  // One finished experiment: its report, its private trace collector,
+  // and the wall time of its run() body.
+  struct ExperimentResult {
+    std::unique_ptr<Report> report;
+    std::shared_ptr<sim::trace::Collector> collector;
+    double wall_ms = 0.0;
+  };
+
+  // Experiments and (through params.executor) their sweep points share
+  // the pool; collect() returns in submission order, so everything
+  // below this block — printing, the JSON document, the merged trace —
+  // is byte-identical for every --jobs value.
+  parallel::Executor executor(jobs);
+  parallel::Sweep<ExperimentResult> sweep(&executor);
+  for (const Experiment* e : selected) {
+    sweep.submit([e, &params, &executor, tracing] {
+      ExperimentResult out;
+      out.report = std::make_unique<Report>(e->name, e->title);
+      Params p = params;  // per-experiment copy: bind() is private to it
+      p.executor = &executor;
+      if (tracing) {
+        out.collector = std::make_shared<sim::trace::Collector>();
+        p.collector = out.collector;
+      }
+      p.bind(out.report.get());
+      if (p.smoke) out.report->param("smoke", Json{true});
+      const auto t0 = std::chrono::steady_clock::now();
+      e->run(*out.report, p);
+      out.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      return out;
+    });
+  }
+  std::vector<ExperimentResult> results = sweep.collect();
+
+  std::vector<Json> reports;
+  for (ExperimentResult& r : results) {
+    if (perf) {
+      r.report->enable_perf(true);
+      r.report->perf("wall_ms", r.wall_ms);
+    }
+    r.report->print();
+    reports.push_back(r.report->to_json());
+    if (tracing && r.collector != nullptr) {
+      merged_collector->merge(std::move(*r.collector));
+    }
+  }
+  params.collector = merged_collector;
 
   if (!json_path.empty()) {
     const Json doc = make_document(reports);

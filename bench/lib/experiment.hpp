@@ -9,6 +9,9 @@
 // CLI (both standalone and run_all):
 //   --hpus N --epsilon X --blocks N --seed N --line-rate G   overrides
 //   --json PATH    write the schema-versioned JSON document
+//   --jobs N       run experiments + sweep points on N threads
+//                  (0 = hardware concurrency; output stays bit-identical)
+//   --perf         add wall_ms / events_per_sec to report + JSON
 //   --trace PATH   write a Chrome trace-event JSON of every run
 //   --trace-limit N  cap the recorded events per run (default 1M)
 //   --percentiles  add per-stage latency percentiles to report + JSON
@@ -23,11 +26,21 @@
 #include <utility>
 #include <vector>
 
+#include "bench/lib/parallel.hpp"
 #include "bench/lib/report.hpp"
 #include "sim/trace/chrome.hpp"
 #include "sim/trace/trace.hpp"
 
 namespace netddt::bench {
+
+/// Ordered fan-out of sweep points (bench/lib/parallel.hpp). Construct
+/// with `params.executor`, submit one closure per point, then collect()
+/// the results in submission order and build tables serially:
+///
+///   Sweep<offload::ReceiveRun> sweep(params.executor);
+///   for (auto p : points) sweep.submit([p, cfg] { return run_one(p); });
+///   auto runs = sweep.collect();   // submission order -> same output
+using parallel::Sweep;
 
 /// Sweep overrides. The *_or helpers return the override or the
 /// experiment's default AND record the effective value in the report's
@@ -43,9 +56,14 @@ class Params {
   bool percentiles = false;  // --percentiles
   std::optional<std::string> trace_path;        // --trace
   std::optional<std::uint64_t> trace_limit;     // --trace-limit
-  /// Accumulates the tracers of every traced run; bench_main writes it
-  /// to `trace_path` once all experiments finished.
+  /// Accumulates the tracers of this experiment's traced runs. Each
+  /// experiment gets a PRIVATE collector (bench_main merges them in
+  /// submission order afterwards), so concurrent experiments never
+  /// share one.
   std::shared_ptr<sim::trace::Collector> collector;
+  /// Shared thread pool for Sweep fan-out (never null inside an
+  /// experiment body run by bench_main; inline/serial when --jobs 1).
+  parallel::Executor* executor = nullptr;
 
   std::uint32_t hpus_or(std::uint32_t def) const {
     return echo("hpus", hpus.value_or(def));
@@ -86,8 +104,12 @@ class Params {
     if (collector != nullptr) collector->add(label, std::move(tracer));
   }
 
-  /// Bound to the report of the experiment currently running.
-  void bind(Report* report) const { report_ = report; }
+  /// Bind the report that receives the parameter echoes. bench_main
+  /// gives every experiment its own Params COPY bound to that
+  /// experiment's report before the run — a Params is never shared
+  /// between concurrently running experiments, which is what makes the
+  /// echo-through-pointer pattern thread-safe.
+  void bind(Report* report) { report_ = report; }
 
  private:
   template <typename T>
@@ -95,7 +117,7 @@ class Params {
     if (report_ != nullptr) report_->param(name, Json{value});
     return value;
   }
-  mutable Report* report_ = nullptr;
+  Report* report_ = nullptr;
 };
 
 struct Experiment {

@@ -1,0 +1,75 @@
+#include "bench/lib/parallel.hpp"
+
+namespace netddt::bench::parallel {
+
+Executor::Executor(unsigned jobs) {
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;  // hardware_concurrency may be unknown
+  jobs_ = jobs;
+  // jobs-1 workers: the calling thread is the jobs-th executor via
+  // help_until().
+  workers_.reserve(jobs - 1);
+  for (unsigned i = 1; i < jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Executor::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // inline mode: the serial harness path
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+void Executor::help_until(const std::function<bool()>& pred) {
+  if (workers_.empty()) {
+    assert(pred() && "inline mode ran every task at submit()");
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!pred()) {
+    if (!queue_.empty()) {
+      auto task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      cv_.notify_all();  // a completion may satisfy another helper's pred
+    } else {
+      // Wait for either new work to steal or a completion elsewhere
+      // that might satisfy pred.
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty() || pred(); });
+      if (stop_) return;
+    }
+  }
+}
+
+void Executor::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    cv_.notify_all();  // completions can unblock help_until() callers
+  }
+}
+
+}  // namespace netddt::bench::parallel

@@ -1,0 +1,148 @@
+#pragma once
+// Fixed-size thread pool + ordered fan-out for the experiment harness.
+//
+// Two layers of parallelism share one Executor: bench_main runs whole
+// experiments as tasks, and an experiment body fans its sweep points out
+// through a Sweep<T>. Nesting cannot deadlock because collect() does not
+// idle-wait — the calling thread *helps*, executing queued tasks until
+// its own results are ready (help_until). A blocked experiment task
+// therefore drains the very sweep points it is waiting for.
+//
+// Determinism: tasks run concurrently, but Sweep::collect() returns
+// results indexed by submission order, so a caller that builds tables
+// from the collected vector produces output bit-identical to a serial
+// run. Simulated results are pure functions of their config (the DES
+// engine shares no mutable state across runs); only wall-clock metrics
+// differ between runs, and the report layer keeps those out of
+// deterministic output.
+//
+// With jobs <= 1 (or a null Executor) everything degenerates to inline
+// execution on the calling thread: submit() runs the task immediately,
+// collect() just gathers. The serial path shares the same code so
+// `--jobs 1` is the plain old serial harness.
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace netddt::bench::parallel {
+
+class Executor {
+ public:
+  /// `jobs` = total concurrency: jobs-1 worker threads plus the calling
+  /// thread, which executes tasks inside help_until(). 0 means
+  /// hardware concurrency; <= 1 means no threads at all (inline mode).
+  explicit Executor(unsigned jobs);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Effective total concurrency (>= 1).
+  unsigned jobs() const { return jobs_; }
+  /// True when submit() executes tasks inline on the calling thread.
+  bool serial() const { return workers_.empty(); }
+
+  /// Queue a task (or run it immediately in inline mode). Thread-safe;
+  /// tasks may themselves submit.
+  void submit(std::function<void()> task);
+
+  /// Execute queued tasks on the calling thread until `pred()` holds.
+  /// `pred` is evaluated under the queue lock and must be cheap (e.g.
+  /// an atomic counter comparison).
+  void help_until(const std::function<bool()>& pred);
+
+ private:
+  void worker_loop();
+
+  unsigned jobs_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;  // signaled on submit and task completion
+  bool stop_ = false;
+};
+
+/// Ordered fan-out of homogeneous tasks: submit() N producers, then
+/// collect() their results in submission order. One-shot.
+template <typename T>
+class Sweep {
+ public:
+  /// `executor` may be null (inline mode). In the harness, pass
+  /// `params.executor`.
+  explicit Sweep(Executor* executor) : executor_(executor) {}
+
+  void submit(std::function<T()> fn) {
+    assert(!collected_ && "Sweep is one-shot");
+    state_->slots.push_back(std::make_unique<Slot>());
+    Slot* slot = state_->slots.back().get();
+    auto task = [slot, state = state_, fn = std::move(fn)] {
+      try {
+        slot->value.emplace(fn());
+      } catch (...) {
+        slot->error = std::current_exception();
+      }
+      // release: pairs with the acquire load in collect(), making the
+      // slot write visible to the collecting thread.
+      state->done.fetch_add(1, std::memory_order_release);
+    };
+    if (executor_ != nullptr) {
+      executor_->submit(std::move(task));
+    } else {
+      task();
+    }
+  }
+
+  /// Block (helping the pool) until every task finished; returns the
+  /// results in submission order. Rethrows the first task exception.
+  std::vector<T> collect() {
+    assert(!collected_ && "Sweep is one-shot");
+    collected_ = true;
+    const std::size_t total = state_->slots.size();
+    if (executor_ != nullptr) {
+      auto state = state_;
+      executor_->help_until([state, total] {
+        return state->done.load(std::memory_order_acquire) == total;
+      });
+    }
+    assert(state_->done.load(std::memory_order_acquire) == total);
+    std::vector<T> out;
+    out.reserve(total);
+    for (auto& slot : state_->slots) {
+      if (slot->error) std::rethrow_exception(slot->error);
+      out.push_back(std::move(*slot->value));
+    }
+    return out;
+  }
+
+  std::size_t size() const { return state_->slots.size(); }
+
+ private:
+  struct Slot {
+    std::optional<T> value;
+    std::exception_ptr error;
+  };
+  // Tasks hold the state shared_ptr (plus a raw pointer to their own
+  // slot, never to the vector — the submitting thread may still be
+  // growing it), so slots outlive an abandoned Sweep.
+  struct State {
+    std::vector<std::unique_ptr<Slot>> slots;
+    std::atomic<std::size_t> done{0};
+  };
+
+  Executor* executor_;
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+  bool collected_ = false;
+};
+
+}  // namespace netddt::bench::parallel

@@ -117,9 +117,18 @@ void Report::text(std::string block) {
 void Report::counters(const sim::MetricsSnapshot& snap) {
   for (const auto& [name, v] : snap.counters) counters_[name] += v;
   for (const auto& [name, g] : snap.gauges) {
+    if (name == "sim.engine.events_per_sec") {
+      // Wall-clock derived — never allowed into deterministic output.
+      events_per_sec_.add(static_cast<double>(g.value));
+      continue;
+    }
     auto& peak = gauge_peaks_[name + ".peak"];
     peak = std::max(peak, g.peak);
   }
+}
+
+void Report::perf(const std::string& name, double value) {
+  perf_values_.emplace_back(name, value);
 }
 
 void Report::stage_latencies(const sim::trace::Tracer& tracer) {
@@ -135,6 +144,22 @@ void Report::print() const {
     std::string line = "  params:";
     for (const auto& [k, v] : params_) {
       line += " " + k + "=" + v.dump(0);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  if (perf_enabled_ && (!perf_values_.empty() || events_per_sec_.count() > 0)) {
+    std::string line = "  perf:";
+    char buf[64];
+    for (const auto& [k, v] : perf_values_) {
+      std::snprintf(buf, sizeof buf, " %s=%.2f", k.c_str(), v);
+      line += buf;
+    }
+    if (events_per_sec_.count() > 0) {
+      std::snprintf(buf, sizeof buf,
+                    " events_per_sec mean=%.3gM peak=%.3gM (%zu runs)",
+                    events_per_sec_.mean() / 1e6, events_per_sec_.max() / 1e6,
+                    events_per_sec_.count());
+      line += buf;
     }
     std::printf("%s\n", line.c_str());
   }
@@ -184,6 +209,19 @@ Json Report::to_json() const {
     if (is_note) notes.push_back(Json{text});
   }
   e["notes"] = std::move(notes);
+  if (perf_enabled_ && (!perf_values_.empty() || events_per_sec_.count() > 0)) {
+    // Only under --perf: these values vary run to run, and the default
+    // document must stay byte-identical across --jobs settings.
+    Json perf = Json::object();
+    for (const auto& [k, v] : perf_values_) perf[k] = Json{v};
+    if (events_per_sec_.count() > 0) {
+      perf["events_per_sec.mean"] = Json{events_per_sec_.mean()};
+      perf["events_per_sec.peak"] = Json{events_per_sec_.max()};
+      perf["events_per_sec.runs"] =
+          Json{static_cast<std::int64_t>(events_per_sec_.count())};
+    }
+    e["perf"] = std::move(perf);
+  }
   if (have_stages_) {
     Json stages = Json::object();
     for (std::size_t i = 0; i < sim::trace::kStageCount; ++i) {

@@ -16,6 +16,7 @@
 
 #include "bench/lib/json.hpp"
 #include "sim/metrics.hpp"
+#include "sim/stats.hpp"
 #include "sim/trace/trace.hpp"
 
 namespace netddt::bench {
@@ -97,7 +98,18 @@ class Report {
   /// Merge a run's metrics: counters sum, gauge peaks max (exported as
   /// "<name>.peak"). Experiments running many configurations call this
   /// once per run; the totals land in the JSON "counters" object.
+  /// The `sim.engine.events_per_sec` gauge is wall-clock derived and
+  /// therefore nondeterministic: it is diverted into the perf section
+  /// (below) instead of the deterministic "gauges" object, keeping
+  /// tables and --json documents bit-identical across --jobs settings.
   void counters(const sim::MetricsSnapshot& snap);
+
+  /// Record a harness-level perf value (e.g. "wall_ms"). Perf values
+  /// and the diverted events_per_sec stats are printed/exported only
+  /// when enable_perf(true) was called (the --perf flag) — they vary
+  /// run to run, so default output must not contain them.
+  void perf(const std::string& name, double value);
+  void enable_perf(bool on) { perf_enabled_ = on; }
 
   /// Merge a run's per-stage latency histograms (--percentiles). The
   /// merged summaries print as their own table and land in the JSON
@@ -116,6 +128,9 @@ class Report {
   std::vector<std::pair<bool, std::string>> blocks_;  // (is_note, text)
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, std::int64_t> gauge_peaks_;
+  std::vector<std::pair<std::string, double>> perf_values_;
+  sim::Summary events_per_sec_;  // diverted sim.engine.events_per_sec
+  bool perf_enabled_ = false;
   sim::trace::Histogram stages_[sim::trace::kStageCount];
   bool have_stages_ = false;
 };

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/lib/json.hpp"
+#include "sim/stats.hpp"
 
 using netddt::bench::Json;
 
@@ -39,6 +40,7 @@ struct SpanStats {
   std::uint64_t count = 0;
   double total_us = 0;
   double max_us = 0;
+  std::vector<double> durations_us;
 };
 
 double get_num(const Json& obj, const char* key, double def = 0) {
@@ -175,6 +177,7 @@ int main(int argc, char** argv) {
         ++s.count;
         s.total_us += ev.ts - begin;
         s.max_us = std::max(s.max_us, ev.ts - begin);
+        s.durations_us.push_back(ev.ts - begin);
         ++spans;
         break;
       }
@@ -210,18 +213,22 @@ int main(int argc, char** argv) {
     for (const auto& [run, s] : stages->members()) print_stage_table(run, s);
   }
 
-  // Span statistics recomputed from the timeline itself.
+  // Span statistics recomputed from the timeline itself. The percentile
+  // calls resolve to the in-place nth_element overload (sim/stats.hpp):
+  // the duration vectors are dead after this table, so no sorted copy.
   if (!span_stats.empty()) {
     std::printf("\nspan durations  (us, recomputed from the timeline)\n");
-    std::printf("  %-10s %-24s %10s %12s %12s\n", "run", "span", "count",
-                "mean", "max");
-    for (const auto& [key, s] : span_stats) {
+    std::printf("  %-10s %-24s %10s %12s %12s %12s %12s\n", "run", "span",
+                "count", "mean", "p50", "p99", "max");
+    for (auto& [key, s] : span_stats) {
       const auto pit = process_names.find(key.first);
-      std::printf("  %-10s %-24s %10llu %12.3f %12.3f\n",
+      std::printf("  %-10s %-24s %10llu %12.3f %12.3f %12.3f %12.3f\n",
                   pit == process_names.end() ? "?" : pit->second.c_str(),
                   key.second.c_str(),
                   static_cast<unsigned long long>(s.count),
-                  s.total_us / static_cast<double>(s.count), s.max_us);
+                  s.total_us / static_cast<double>(s.count),
+                  netddt::sim::percentile(s.durations_us, 50.0),
+                  netddt::sim::percentile(s.durations_us, 99.0), s.max_us);
     }
   }
 

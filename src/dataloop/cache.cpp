@@ -1,0 +1,110 @@
+#include "dataloop/cache.hpp"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace netddt::dataloop {
+namespace {
+
+void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+  out += ',';
+}
+
+// Serialize every structural field that influences compilation.
+// Delimiters keep adjacent numeric fields from aliasing (e.g. counts
+// 1,12 vs 11,2); kind() alone fixes which fields are meaningful, but we
+// always emit all of them so the format needs no per-kind schema.
+void append_signature(std::string& out, const ddt::Datatype& t) {
+  out += static_cast<char>('A' + static_cast<int>(t.kind()));
+  append_i64(out, static_cast<std::int64_t>(t.size()));
+  append_i64(out, t.lb());
+  append_i64(out, t.ub());
+  append_i64(out, t.count());
+  append_i64(out, t.blocklen());
+  append_i64(out, t.stride_bytes());
+  out += 'b';
+  for (std::int64_t v : t.blocklens()) append_i64(out, v);
+  out += 'd';
+  for (std::int64_t v : t.displs_bytes()) append_i64(out, v);
+  out += '(';
+  for (const auto& child : t.children()) append_signature(out, *child);
+  out += ')';
+}
+
+struct Cache {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledDataloop>> map;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+}  // namespace
+
+std::string type_signature_string(const ddt::Datatype& type) {
+  std::string out;
+  out.reserve(64);
+  append_signature(out, type);
+  return out;
+}
+
+std::uint64_t type_signature(const ddt::Datatype& type) {
+  const std::string sig = type_signature_string(type);
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (char c : sig) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::shared_ptr<const CompiledDataloop> compile_cached(
+    const ddt::TypePtr& type, std::uint64_t count) {
+  std::string key = type_signature_string(*type);
+  key += '#';
+  key += std::to_string(count);
+
+  Cache& c = cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto it = c.map.find(key);
+    if (it != c.map.end()) {
+      ++c.hits;
+      return it->second;
+    }
+  }
+  // Compile outside the lock: compilation is the expensive part, and two
+  // threads racing on the same key just produce one redundant compile.
+  auto compiled = std::make_shared<const CompiledDataloop>(type, count);
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto [it, inserted] = c.map.emplace(std::move(key), std::move(compiled));
+  if (inserted) {
+    ++c.misses;
+  } else {
+    ++c.hits;  // lost the race; share the winner's loop
+  }
+  return it->second;
+}
+
+DataloopCacheStats dataloop_cache_stats() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return DataloopCacheStats{c.hits, c.misses,
+                            static_cast<std::uint64_t>(c.map.size())};
+}
+
+void dataloop_cache_clear() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.map.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
+
+}  // namespace netddt::dataloop

@@ -1,0 +1,57 @@
+#pragma once
+// Compiled-dataloop memoization cache.
+//
+// Sweeps recompile the same datatype layouts over and over: a Fig 8
+// block-size sweep compiles one vector layout per (block, strategy)
+// point, and the general strategies additionally compile a probe loop
+// before the plan's own. CompiledDataloop is immutable after
+// construction, so identical (type tree, count) pairs can share one
+// compiled loop. compile_cached() keys a process-wide table by a
+// canonical signature of the full datatype tree — every structural
+// field (kind, counts, strides, displacements, bounds, children,
+// elementary sizes), not the lossy to_string() form — so two
+// structurally identical trees hit the same entry even when built
+// through different constructors or shared subtrees.
+//
+// Thread safety: the table is mutex-guarded, so parallel sweep points
+// (bench/lib/parallel.hpp) can share it. Cache hit/miss totals are
+// process-global and therefore order-dependent under parallel sweeps;
+// they are exposed only through dataloop_cache_stats(), never through
+// per-run MetricsRegistry snapshots, to keep run reports deterministic.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dataloop/dataloop.hpp"
+#include "ddt/datatype.hpp"
+
+namespace netddt::dataloop {
+
+struct DataloopCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+};
+
+/// Canonical structural signature of a datatype tree (the cache key,
+/// minus the repetition count). Two types with equal signatures compile
+/// to interchangeable dataloops.
+std::string type_signature_string(const ddt::Datatype& type);
+
+/// 64-bit FNV-1a hash of type_signature_string(); handy as a compact
+/// identity for logs and tests.
+std::uint64_t type_signature(const ddt::Datatype& type);
+
+/// Compile `count` instances of `type`, memoized: structurally identical
+/// (type, count) pairs return the same shared CompiledDataloop.
+std::shared_ptr<const CompiledDataloop> compile_cached(
+    const ddt::TypePtr& type, std::uint64_t count = 1);
+
+/// Process-wide hit/miss/entry totals since start (or the last clear).
+DataloopCacheStats dataloop_cache_stats();
+
+/// Drop all entries and reset the stats (tests).
+void dataloop_cache_clear();
+
+}  // namespace netddt::dataloop

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "dataloop/cache.hpp"
 #include "offload/host_model.hpp"
 #include "p4/packet.hpp"
 
@@ -67,21 +68,21 @@ std::uint64_t choose_checkpoint_interval(const IntervalInputs& in) {
 GeneralPlan::GeneralPlan(const ddt::TypePtr& type, std::uint64_t count,
                          const GeneralConfig& config,
                          const spin::CostModel& cost)
-    : config_(config), cost_(&cost), loops_(type, count) {
-  const std::uint64_t msg = loops_.total_bytes();
+    : config_(config), cost_(&cost), loops_(dataloop::compile_cached(type, count)) {
+  const std::uint64_t msg = loops_->total_bytes();
   const std::uint64_t k = cost.pkt_payload;
   const std::uint64_t npkt = p4::packet_count(msg, cost.pkt_payload);
   const double gamma =
       static_cast<double>(type->block_count() * count) /
       static_cast<double>(npkt);
   const sim::Time tph = estimate_handler_runtime(gamma, cost);
-  const std::uint64_t dataloop_bytes = loops_.serialized_bytes();
+  const std::uint64_t dataloop_bytes = loops_->serialized_bytes();
   const std::uint64_t blocks = type->block_count() * count;
 
   switch (config.kind) {
     case StrategyKind::kHpuLocal: {
       policy_ = spin::SchedulingPolicy::BlockedRR(config.hpus, 1);
-      segments_.assign(config.hpus, dataloop::Segment(loops_));
+      segments_.assign(config.hpus, dataloop::Segment(*loops_));
       descriptor_bytes_ =
           dataloop_bytes +
           config.hpus * dataloop::Segment::kFootprintBytes;
@@ -102,7 +103,7 @@ GeneralPlan::GeneralPlan(const ddt::TypePtr& type, std::uint64_t count,
       in.nic_memory_budget = config.nic_memory_budget;
       in.pkt_buffer_bytes = config.pkt_buffer_bytes;
       interval_ = choose_checkpoint_interval(in);
-      table_.emplace(loops_, interval_);
+      table_.emplace(*loops_, interval_);
       descriptor_bytes_ = dataloop_bytes + table_->footprint_bytes();
       host_setup_time_ = host_checkpoint_setup_time(
           blocks, table_->footprint_bytes() + dataloop_bytes, cost);
@@ -125,7 +126,7 @@ GeneralPlan::GeneralPlan(const ddt::TypePtr& type, std::uint64_t count,
       const auto nseq = static_cast<std::uint32_t>(
           (npkt + delta_p - 1) / delta_p);
       policy_ = spin::SchedulingPolicy::BlockedRR(nseq, delta_p);
-      table_.emplace(loops_, interval_);
+      table_.emplace(*loops_, interval_);
       // Working set: each vHPU exclusively owns checkpoint #seq.
       segments_.reserve(nseq);
       for (std::uint32_t s = 0; s < nseq; ++s) {

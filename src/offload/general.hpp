@@ -80,7 +80,7 @@ class GeneralPlan {
 
   spin::ExecutionContext context(spin::NicModel& nic);
 
-  const dataloop::CompiledDataloop& loops() const { return loops_; }
+  const dataloop::CompiledDataloop& loops() const { return *loops_; }
 
  private:
   void payload_hpu_local(spin::HandlerArgs& args);
@@ -93,7 +93,9 @@ class GeneralPlan {
 
   GeneralConfig config_;
   const spin::CostModel* cost_;
-  dataloop::CompiledDataloop loops_;
+  // Shared via the process-wide dataloop cache: sweeps over the same
+  // layout reuse one compiled loop (dataloop/cache.hpp).
+  std::shared_ptr<const dataloop::CompiledDataloop> loops_;
   std::uint64_t interval_ = 0;
   std::optional<dataloop::CheckpointTable> table_;
   std::vector<dataloop::Segment> segments_;       // vHPU-owned state

@@ -171,6 +171,25 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   // everything below reads through the snapshot, not loose struct fields.
   nic.metrics().gauge("sim.engine.queue_depth").set(
       static_cast<std::int64_t>(engine.max_pending()));
+  // Deterministic: a pure function of the callables scheduled. Stays 0
+  // for every model (callbacks fit InlineCallback's inline storage).
+  nic.metrics().counter("sim.engine.callback_heap_allocs")
+      .add(engine.callback_heap_allocs());
+  // Callback-size histogram, nonzero buckets only (also deterministic);
+  // bench/engine_perf renders it in its model audit.
+  const auto& hist = engine.callback_size_hist();
+  for (std::size_t b = 0; b < sim::Engine::kSizeBuckets; ++b) {
+    if (hist[b] == 0) continue;
+    nic.metrics()
+        .counter(std::string("sim.engine.callbacks_") +
+                 sim::Engine::size_bucket_name(b))
+        .add(hist[b]);
+  }
+  // Wall-clock derived, hence nondeterministic: the report layer diverts
+  // this gauge into the perf section so deterministic output (tables,
+  // --json) never depends on it.
+  nic.metrics().gauge("sim.engine.events_per_sec").set(
+      static_cast<std::int64_t>(engine.events_per_sec()));
   nic.metrics().finalize_series(engine.now());
   run.metrics = nic.metrics().snapshot();
   const sim::MetricsSnapshot& snap = run.metrics;

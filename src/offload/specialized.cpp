@@ -1,5 +1,7 @@
 #include "offload/specialized.hpp"
 
+#include "dataloop/cache.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -71,8 +73,8 @@ void leaf_window(const dataloop::CompiledDataloop& loops,
 std::unique_ptr<SpecializedPlan> SpecializedPlan::create(
     const ddt::TypePtr& type, std::uint64_t count,
     const spin::CostModel& cost, bool closed_form_only) {
-  dataloop::CompiledDataloop probe(type, count);
-  if (!probe.root().leaf && closed_form_only) return nullptr;
+  auto probe = dataloop::compile_cached(type, count);
+  if (!probe->root().leaf && closed_form_only) return nullptr;
   return std::unique_ptr<SpecializedPlan>(
       new SpecializedPlan(type, count, cost));
 }
@@ -80,8 +82,8 @@ std::unique_ptr<SpecializedPlan> SpecializedPlan::create(
 SpecializedPlan::SpecializedPlan(const ddt::TypePtr& type,
                                  std::uint64_t count,
                                  const spin::CostModel& cost)
-    : loops_(type, count), cost_(&cost) {
-  const dataloop::Dataloop& leaf = loops_.root();
+    : loops_(dataloop::compile_cached(type, count)), cost_(&cost) {
+  const dataloop::Dataloop& leaf = loops_->root();
   if (!leaf.leaf) {
     // Region-list fallback: offset + size per region, 16 B entries.
     closed_form_ = false;
@@ -127,7 +129,7 @@ spin::ExecutionContext SpecializedPlan::context(spin::NicModel& nic) {
       const std::uint64_t first = args.pkt.offset;
       const std::uint64_t last = first + args.pkt.payload_bytes;
       std::uint64_t stream = 0;
-      leaf_window(loops_, first, last,
+      leaf_window(*loops_, first, last,
                   [&](std::int64_t host_off, std::uint64_t len,
                       std::uint32_t search_steps) {
                     args.meter.charge(spin::Phase::kSetup,

@@ -48,13 +48,15 @@ class SpecializedPlan {
   /// alive for the NIC's lifetime).
   spin::ExecutionContext context(spin::NicModel& nic);
 
-  const dataloop::CompiledDataloop& loops() const { return loops_; }
+  const dataloop::CompiledDataloop& loops() const { return *loops_; }
 
  private:
   SpecializedPlan(const ddt::TypePtr& type, std::uint64_t count,
                   const spin::CostModel& cost);
 
-  dataloop::CompiledDataloop loops_;
+  // Shared via the process-wide dataloop cache (dataloop/cache.hpp);
+  // also reused by create()'s closed-form probe of the same type.
+  std::shared_ptr<const dataloop::CompiledDataloop> loops_;
   const spin::CostModel* cost_;
   std::uint64_t descriptor_bytes_ = 0;
   bool closed_form_ = true;

@@ -7,20 +7,36 @@
 // and host models in this repository are built on this engine.
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 #include "sim/trace/trace.hpp"
 
 namespace netddt::sim {
 
+/// Event callback with 64 bytes of inline storage — enough for every
+/// lambda the NIC/DMA/link/scheduler models schedule (the largest
+/// captures `this` + a receive-state pointer + a 40-byte p4::Packet by
+/// value). Larger callables still work but heap-allocate; the engine
+/// counts those in callback_heap_allocs() so perf tests can assert the
+/// hot path stays allocation-free.
+using InlineCallback = InlineFunction<void(), 64>;
+
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
+
+  Engine() {
+    heap_.reserve(kInitialHeapCapacity);
+    free_slots_.reserve(kInitialHeapCapacity);
+  }
 
   /// Current simulated time.
   Time now() const { return now_; }
@@ -29,20 +45,22 @@ class Engine {
   /// are clamped to zero (events cannot fire in the past).
   void schedule(Time delay, Callback fn) {
     if (delay < 0) delay = 0;
-    schedule_at(now_ + delay, std::move(fn));
+    place(now_ + delay, std::move(fn));
   }
 
   /// Schedule `fn` at absolute time `when` (>= now()).
   void schedule_at(Time when, Callback fn) {
     assert(when >= now_ && "cannot schedule an event in the past");
-    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-    max_pending_ = std::max(max_pending_, heap_.size());
+    place(when, std::move(fn));
   }
 
   /// Run until the event queue drains. Returns the time of the last event.
   Time run() {
+    const auto wall_start = std::chrono::steady_clock::now();
     while (!heap_.empty()) step();
+    wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
     return now_;
   }
 
@@ -51,8 +69,12 @@ class Engine {
   /// `deadline` (even when the next event lies beyond it), so repeated
   /// run_until calls observe a monotone clock.
   Time run_until(Time deadline) {
+    const auto wall_start = std::chrono::steady_clock::now();
     while (!heap_.empty() && heap_.front().when <= deadline) step();
     if (now_ < deadline) now_ = deadline;
+    wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
     return now_;
   }
 
@@ -72,12 +94,56 @@ class Engine {
   std::size_t max_pending() const { return max_pending_; }
   std::uint64_t executed() const { return executed_; }
 
+  /// Number of scheduled callbacks that exceeded InlineCallback's inline
+  /// storage and fell back to the heap. Deterministic (a function of the
+  /// callables scheduled, not of timing); the models keep it at zero.
+  std::uint64_t callback_heap_allocs() const { return callback_heap_allocs_; }
+
+  /// Wall-clock nanoseconds accumulated inside run()/run_until().
+  std::uint64_t wall_ns() const { return wall_ns_; }
+
+  /// Scheduled-callback size histogram: buckets 0-3 are inline
+  /// callables of (bucket+1)*16 bytes or less, bucket 4 is the heap
+  /// fallback. Deterministic; rendered by bench/engine_perf.
+  static constexpr std::size_t kSizeBuckets = 5;
+  const std::array<std::uint64_t, kSizeBuckets>& callback_size_hist() const {
+    return size_hist_;
+  }
+  static const char* size_bucket_name(std::size_t i) {
+    static constexpr const char* kNames[kSizeBuckets] = {
+        "le16B", "le32B", "le48B", "le64B", "heap"};
+    return kNames[i];
+  }
+
+  /// Dispatch throughput over the engine's lifetime: executed() events
+  /// divided by wall-clock time spent in run()/run_until(). Wall-clock
+  /// derived — nondeterministic — so it must never feed simulated
+  /// results, only the perf telemetry (`sim.engine.events_per_sec`).
+  double events_per_sec() const {
+    return wall_ns_ > 0
+               ? static_cast<double>(executed_) * 1e9 /
+                     static_cast<double>(wall_ns_)
+               : 0.0;
+  }
+
  private:
+  // A run keeps a few events in flight per packet; 1024 slots cover the
+  // deepest queue the benchmark configs reach without any regrowth.
+  static constexpr std::size_t kInitialHeapCapacity = 1024;
+
+  // Heap entries are 24-byte PODs; the callback itself is parked in a
+  // chunked slab so push_heap/pop_heap shuffles never move callable
+  // storage and dispatch invokes it in place (chunks never relocate). A
+  // callback is copied exactly once after construction — into its slot.
+  // Freed slots recycle through free_slots_, so steady state allocates
+  // nothing per event (bench/engine_perf measures this).
   struct Event {
     Time when;
     std::uint64_t seq;
-    Callback fn;
+    std::uint32_t slot;
   };
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 callbacks/chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -85,31 +151,70 @@ class Engine {
     }
   };
 
+  static std::size_t size_bucket(const Callback& fn) {
+    if (fn.heap_allocated()) return kSizeBuckets - 1;
+    const std::size_t size = fn.callable_size();
+    return size == 0 ? 0 : std::min<std::size_t>((size - 1) / 16,
+                                                 kSizeBuckets - 2);
+  }
+
+  Callback& slot_ref(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+
+  void place(Time when, Callback&& fn) {
+    if (fn.heap_allocated()) ++callback_heap_allocs_;
+    ++size_hist_[size_bucket(fn)];
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = slot_count_++;
+      if ((slot >> kChunkShift) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Callback[]>(1u << kChunkShift));
+      }
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    slot_ref(slot) = std::move(fn);
+    heap_.push_back(Event{when, next_seq_++, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    max_pending_ = std::max(max_pending_, heap_.size());
+  }
+
   void step() {
-    // pop_heap moves the earliest event to the back, where it can be
-    // moved from without casting away constness; the callback is free to
-    // schedule new events.
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
+    const Event ev = heap_.back();
     heap_.pop_back();
     assert(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
+    // Invoked in place: slab chunks never relocate, and the slot is only
+    // released afterwards, so events the callback schedules cannot reuse
+    // or move the running callable.
+    Callback& fn = slot_ref(ev.slot);
     if (tracer_ != nullptr && tracer_->engine_events_on()) {
       tracer_->begin(engine_track_, "dispatch", now_);
-      ev.fn();
+      fn();
       tracer_->end(engine_track_, "dispatch", now_);
       tracer_->counter(engine_track_, "pending", now_,
                        static_cast<double>(heap_.size()));
     } else {
-      ev.fn();
+      fn();
     }
+    fn.reset();
+    free_slots_.push_back(ev.slot);
   }
 
   std::vector<Event> heap_;
+  std::vector<std::unique_ptr<Callback[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t callback_heap_allocs_ = 0;
+  std::uint64_t wall_ns_ = 0;
+  std::array<std::uint64_t, kSizeBuckets> size_hist_{};
   std::size_t max_pending_ = 0;
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t engine_track_ = 0;

@@ -30,15 +30,25 @@ double Summary::variance() const {
 
 double Summary::stddev() const { return std::sqrt(variance()); }
 
-double percentile(std::vector<double> samples, double p) {
+double percentile(const std::vector<double>& samples, double p) {
+  std::vector<double> copy = samples;
+  return percentile(copy, p);
+}
+
+double percentile(std::vector<double>& samples, double p) {
   if (samples.empty()) return 0.0;
   assert(p >= 0.0 && p <= 100.0);
-  std::sort(samples.begin(), samples.end());
   const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, samples.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return samples[lo] + frac * (samples[hi] - samples[lo]);
+  const auto lo_it = samples.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(samples.begin(), lo_it, samples.end());
+  const double lo_val = *lo_it;
+  if (frac == 0.0 || lo + 1 >= samples.size()) return lo_val;
+  // After nth_element everything past lo_it is >= lo_val, so the next
+  // order statistic is that suffix's minimum — no second partition pass.
+  const double hi_val = *std::min_element(lo_it + 1, samples.end());
+  return lo_val + frac * (hi_val - lo_val);
 }
 
 double geomean(const std::vector<double>& samples) {

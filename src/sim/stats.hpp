@@ -28,7 +28,14 @@ class Summary {
 };
 
 /// Percentile of a sample set (linear interpolation, p in [0,100]).
-double percentile(std::vector<double> samples, double p);
+/// Copies the samples; prefer the in-place overload on hot paths.
+double percentile(const std::vector<double>& samples, double p);
+
+/// In-place percentile: O(n) via std::nth_element instead of a copy +
+/// full sort. Partially reorders `samples` (the multiset is preserved,
+/// so repeated percentile calls on the same vector stay correct).
+/// Non-const lvalue arguments resolve to this overload.
+double percentile(std::vector<double>& samples, double p);
 
 /// Geometric mean; all samples must be > 0.
 double geomean(const std::vector<double>& samples);

@@ -181,6 +181,13 @@ void Collector::add(std::string label, std::unique_ptr<Tracer> tracer) {
   runs_.emplace_back(std::move(label), std::move(tracer));
 }
 
+void Collector::merge(Collector&& other) {
+  for (auto& [label, tracer] : other.runs_) {
+    runs_.emplace_back(std::move(label), std::move(tracer));
+  }
+  other.runs_.clear();
+}
+
 void Collector::write(std::ostream& out) const {
   std::vector<std::pair<std::string, const Tracer*>> runs;
   runs.reserve(runs_.size());

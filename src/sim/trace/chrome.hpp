@@ -34,6 +34,11 @@ void write_chrome(std::ostream& out, const Tracer& tracer,
 class Collector {
  public:
   void add(std::string label, std::unique_ptr<Tracer> tracer);
+  /// Append another collector's runs (in its order), leaving it empty.
+  /// The harness gives each experiment a private collector and merges
+  /// them in submission order, so traced parallel runs produce the same
+  /// document as serial ones.
+  void merge(Collector&& other);
   std::size_t size() const { return runs_.size(); }
   bool empty() const { return runs_.empty(); }
   const std::vector<std::pair<std::string, std::unique_ptr<Tracer>>>& runs()

@@ -52,8 +52,6 @@ void Scheduler::dispatch() {
       v.ready_listed = false;
       if (v.queue.empty()) continue;  // raced: packets already drained
       v.running = true;
-      Pending item = std::move(v.queue.front());
-      v.queue.pop_front();
       ++busy_;
       busy_hpus_->set(busy_);
       const std::uint32_t hpu = acquire_hpu();
@@ -61,15 +59,21 @@ void Scheduler::dispatch() {
       vhpu_switches_->add(1);
       const sim::Time switch_cost = cost_->vhpu_switch;
       if (tracer_ != nullptr && tracer_->events_on()) {
+        const Pending& head = v.queue.front();
         tracer_->complete(hpu_tracks_[hpu], "vhpu switch", engine_->now(),
                           engine_->now() + switch_cost,
-                          static_cast<std::int64_t>(item.msg), item.pkt);
+                          static_cast<std::int64_t>(head.msg), head.pkt);
       }
-      engine_->schedule(switch_cost,
-                        [this, item = std::move(item), owner = &v,
-                         hpu]() mutable {
-                          run_task(std::move(item), owner, hpu);
-                        });
+      // The head item stays queued until the switch completes; capturing
+      // only {this, vhpu, hpu} keeps the callback inside InlineCallback's
+      // inline storage (a moved-in Pending would not fit). Safe because
+      // running=true bars any other dispatch from popping this queue, and
+      // later enqueues only push_back, so the front is stable.
+      engine_->schedule(switch_cost, [this, owner = &v, hpu] {
+        Pending item = std::move(owner->queue.front());
+        owner->queue.pop_front();
+        run_task(std::move(item), owner, hpu);
+      });
     } else {
       ++busy_;
       busy_hpus_->set(busy_);

@@ -17,13 +17,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace/trace.hpp"
 #include "spin/cost_model.hpp"
@@ -34,8 +34,10 @@ namespace netddt::spin {
 class Scheduler {
  public:
   /// A handler task: runs (functionally) at `start` and returns the
-  /// simulated runtime it charged.
-  using Task = std::function<sim::Time(sim::Time start)>;
+  /// simulated runtime it charged. Move-only with 64 B of inline
+  /// storage — the NIC's header/payload/completion task lambdas all fit
+  /// without a heap allocation (see sim/inline_function.hpp).
+  using Task = sim::InlineFunction<sim::Time(sim::Time), 64>;
 
   /// Publishes under "nic.sched"; nullptr gets a private registry.
   Scheduler(sim::Engine& engine, std::uint32_t hpus, const CostModel& cost,
@@ -116,7 +118,9 @@ class Scheduler {
   std::uint32_t hpus_;
   std::uint32_t busy_ = 0;
   std::deque<Runnable> ready_;
-  std::unordered_map<std::uint64_t, std::vector<Vhpu>> vhpus_;
+  // deque, not vector: ready_ holds Vhpu* into these lists, and Pending
+  // is move-only — deque::resize never relocates existing elements.
+  std::unordered_map<std::uint64_t, std::deque<Vhpu>> vhpus_;
   // Stack of idle physical HPU ids (initially 0 on top). Deterministic
   // LIFO reuse; the assignment only labels trace tracks, never timing.
   std::vector<std::uint32_t> free_hpus_;

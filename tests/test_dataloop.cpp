@@ -8,6 +8,7 @@
 #include <cstring>
 #include <vector>
 
+#include "dataloop/cache.hpp"
 #include "dataloop/dataloop.hpp"
 #include "dataloop/segment.hpp"
 #include "ddt/pack.hpp"
@@ -343,6 +344,76 @@ TEST_P(SegmentProperty, WindowedProcessingMatchesFlatten) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SegmentProperty, ::testing::Range(0, 40));
+
+TEST(DataloopCache, StructurallyEqualTypesShareOneEntry) {
+  dataloop_cache_clear();
+  // Built independently, structurally identical.
+  auto a = Datatype::hvector(8, 4, 16, Datatype::int32());
+  auto b = Datatype::hvector(8, 4, 16, Datatype::int32());
+  EXPECT_EQ(type_signature_string(*a), type_signature_string(*b));
+  EXPECT_EQ(type_signature(*a), type_signature(*b));
+
+  auto ca = compile_cached(a, 2);
+  auto cb = compile_cached(b, 2);
+  EXPECT_EQ(ca.get(), cb.get());  // shared compiled loop
+  const auto stats = dataloop_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(ca->total_bytes(), a->size() * 2);
+}
+
+TEST(DataloopCache, StructurallyDifferentTypesDiffer) {
+  // Same element count and size, different stride: signatures must not
+  // collapse (to_string-style summaries would).
+  auto a = Datatype::hvector(8, 4, 16, Datatype::int8());
+  auto b = Datatype::hvector(8, 4, 20, Datatype::int8());
+  EXPECT_NE(type_signature_string(*a), type_signature_string(*b));
+  EXPECT_NE(type_signature(*a), type_signature(*b));
+
+  dataloop_cache_clear();
+  auto ca = compile_cached(a);
+  auto cb = compile_cached(b);
+  EXPECT_NE(ca.get(), cb.get());
+  // Same tree, different repetition count: also distinct entries.
+  auto ca2 = compile_cached(a, 4);
+  EXPECT_NE(ca.get(), ca2.get());
+  EXPECT_EQ(dataloop_cache_stats().entries, 3u);
+}
+
+TEST(DataloopCache, ClearDropsEntriesButKeepsSharedLoopsAlive) {
+  dataloop_cache_clear();
+  auto t = Datatype::contiguous(4, Datatype::float64());
+  auto kept = compile_cached(t);
+  dataloop_cache_clear();
+  const auto stats = dataloop_cache_stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  // The shared_ptr keeps the compiled loop valid past the clear.
+  EXPECT_EQ(kept->total_bytes(), t->size());
+  // Recompiling after a clear is a fresh miss.
+  auto again = compile_cached(t);
+  EXPECT_EQ(dataloop_cache_stats().misses, 1u);
+  EXPECT_NE(again.get(), kept.get());
+}
+
+TEST(DataloopCache, CachedLoopMatchesFreshCompile) {
+  const std::vector<std::int64_t> blocklens{2, 1, 3};
+  const std::vector<std::int64_t> displs{0, 5, 9};
+  auto t = Datatype::indexed(blocklens, displs, Datatype::int8());
+  auto cached = compile_cached(t, 3);
+  CompiledDataloop fresh(t, 3);
+  // Identical region stream from both.
+  Segment a(*cached), b(fresh);
+  const auto ra = collect(a, 0, cached->total_bytes());
+  const auto rb = collect(b, 0, fresh.total_bytes());
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].offset, rb[i].offset);
+    EXPECT_EQ(ra[i].size, rb[i].size);
+  }
+}
 
 }  // namespace
 }  // namespace netddt::dataloop

@@ -1,0 +1,131 @@
+// Tests for the experiment-harness thread pool (Executor) and ordered
+// fan-out (Sweep): submission-order collection, nested sweeps via
+// help-until work stealing, inline/serial degeneration, and exception
+// propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bench/lib/parallel.hpp"
+
+namespace netddt::bench::parallel {
+namespace {
+
+TEST(Executor, JobsResolveToAtLeastOne) {
+  Executor inline_exec(1);
+  EXPECT_EQ(inline_exec.jobs(), 1u);
+  EXPECT_TRUE(inline_exec.serial());
+
+  Executor hw(0);  // 0 = hardware concurrency
+  EXPECT_GE(hw.jobs(), 1u);
+
+  Executor four(4);
+  EXPECT_EQ(four.jobs(), 4u);
+  EXPECT_FALSE(four.serial());
+}
+
+TEST(Executor, InlineModeRunsOnCallingThread) {
+  Executor exec(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  exec.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);  // already done: submit() executed inline
+}
+
+TEST(Sweep, CollectsInSubmissionOrder) {
+  for (unsigned jobs : {1u, 4u}) {
+    Executor exec(jobs);
+    Sweep<int> sweep(&exec);
+    for (int i = 0; i < 64; ++i) {
+      sweep.submit([i] {
+        if (i % 7 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        return i * i;
+      });
+    }
+    const auto out = sweep.collect();
+    ASSERT_EQ(out.size(), 64u);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(Sweep, NullExecutorRunsInline) {
+  Sweep<int> sweep(nullptr);
+  int side_effects = 0;
+  sweep.submit([&] { return ++side_effects; });
+  sweep.submit([&] { return ++side_effects; });
+  EXPECT_EQ(side_effects, 2);  // ran at submit time
+  EXPECT_EQ(sweep.collect(), (std::vector<int>{1, 2}));
+}
+
+TEST(Sweep, NestedSweepsDoNotDeadlock) {
+  // Outer tasks each run an inner sweep on the same executor; with only
+  // 2 threads total, completion requires the blocked outer tasks to
+  // help-execute the inner points.
+  Executor exec(2);
+  Sweep<int> outer(&exec);
+  for (int o = 0; o < 8; ++o) {
+    outer.submit([o, &exec] {
+      Sweep<int> inner(&exec);
+      for (int i = 0; i < 8; ++i) {
+        inner.submit([o, i] { return o * 100 + i; });
+      }
+      const auto vals = inner.collect();
+      return std::accumulate(vals.begin(), vals.end(), 0);
+    });
+  }
+  const auto sums = outer.collect();
+  ASSERT_EQ(sums.size(), 8u);
+  for (int o = 0; o < 8; ++o) {
+    EXPECT_EQ(sums[static_cast<size_t>(o)], o * 800 + 28);
+  }
+}
+
+TEST(Sweep, RethrowsFirstExceptionInSubmissionOrder) {
+  for (unsigned jobs : {1u, 4u}) {
+    Executor exec(jobs);
+    Sweep<int> sweep(&exec);
+    sweep.submit([] { return 1; });
+    sweep.submit([]() -> int { throw std::runtime_error("first"); });
+    sweep.submit([]() -> int { throw std::runtime_error("second"); });
+    try {
+      sweep.collect();
+      FAIL() << "collect() must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "first");
+    }
+  }
+}
+
+TEST(Sweep, MoveOnlyResultsSupported) {
+  Executor exec(2);
+  Sweep<std::unique_ptr<int>> sweep(&exec);
+  for (int i = 0; i < 8; ++i) {
+    sweep.submit([i] { return std::make_unique<int>(i); });
+  }
+  auto out = sweep.collect();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(*out[static_cast<size_t>(i)], i);
+}
+
+TEST(Executor, ManyTasksAllExecute) {
+  Executor exec(4);
+  std::atomic<int> ran{0};
+  Sweep<int> sweep(&exec);
+  for (int i = 0; i < 500; ++i) {
+    sweep.submit([&ran] { return ran.fetch_add(1) * 0; });
+  }
+  sweep.collect();
+  EXPECT_EQ(ran.load(), 500);
+}
+
+}  // namespace
+}  // namespace netddt::bench::parallel

@@ -70,6 +70,24 @@ TEST(Runner, SparseTypeWithNonZeroFirstDisplacement) {
   }
 }
 
+TEST(Runner, NoCallbackHeapAllocationsOnAnyStrategy) {
+  // Every callback the models schedule must fit InlineCallback's inline
+  // storage; the engine counts the heap fallbacks and the runner
+  // publishes the counter, so a capture outgrowing the buffer fails
+  // here instead of silently reintroducing a malloc per event.
+  for (auto kind :
+       {StrategyKind::kSpecialized, StrategyKind::kRwCp, StrategyKind::kRoCp,
+        StrategyKind::kHpuLocal, StrategyKind::kIovec,
+        StrategyKind::kHostUnpack}) {
+    auto cfg = vec_cfg(512, 256, kind);
+    const auto run = run_receive(cfg);
+    EXPECT_TRUE(run.metrics.has_counter("sim.engine.callback_heap_allocs"))
+        << strategy_name(kind);
+    EXPECT_EQ(run.metrics.counter("sim.engine.callback_heap_allocs"), 0u)
+        << strategy_name(kind);
+  }
+}
+
 TEST(Runner, GammaMatchesRegionsPerPacket) {
   auto cfg = vec_cfg(2048, 128, StrategyKind::kSpecialized);  // 256 KiB
   const auto r = run_receive(cfg).result;

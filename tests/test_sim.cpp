@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -113,6 +117,147 @@ TEST(Engine, TracksMaxPendingHighWatermark) {
   eng.run();
   EXPECT_EQ(eng.pending(), 0u);
   EXPECT_EQ(eng.max_pending(), 3u);  // watermark survives the drain
+}
+
+TEST(InlineFunction, SmallCallableStaysInline) {
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.heap_allocated());
+  EXPECT_EQ(cb.callable_size(), sizeof(int*));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, OversizedCallableFallsBackToHeap) {
+  std::array<char, InlineCallback::kInlineBytes + 1> big{};
+  big[0] = 42;
+  char seen = 0;
+  InlineCallback cb([big, &seen] { seen = big[0]; });
+  EXPECT_TRUE(cb.heap_allocated());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineFunction, MoveTransfersCallableAndEmptiesSource) {
+  int hits = 0;
+  InlineCallback a([&hits] { ++hits; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.callable_size(), 0);
+  b();
+  EXPECT_EQ(hits, 1);
+  InlineCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, AcceptsMoveOnlyCallables) {
+  // std::function requires copyable callables; the engine's callback
+  // type must not.
+  auto flag = std::make_unique<bool>(false);
+  bool* raw = flag.get();
+  InlineCallback cb([owned = std::move(flag)] { *owned = true; });
+  EXPECT_FALSE(cb.heap_allocated());
+  cb();
+  EXPECT_TRUE(*raw);
+}
+
+TEST(InlineFunction, NonTrivialCallableDestroyedOnce) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineCallback a([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // capture keeps it alive
+    InlineCallback b(std::move(a));
+    b();
+    b.reset();
+    EXPECT_TRUE(watch.expired());  // reset destroyed the capture
+  }
+}
+
+TEST(Engine, ModelSizedCallbacksNeverHeapAllocate) {
+  Engine eng;
+  // 56-byte capture: the upper end of what the NIC/DMA models schedule.
+  std::array<char, 48> pad{};
+  int hits = 0;
+  for (int i = 0; i < 32; ++i) {
+    eng.schedule(ns(i), [pad, &hits] { hits += pad[0] + 1; });
+  }
+  eng.run();
+  EXPECT_EQ(hits, 32);
+  EXPECT_EQ(eng.callback_heap_allocs(), 0u);
+  EXPECT_EQ(eng.executed(), 32u);
+}
+
+TEST(Engine, CountsAndBucketsOversizedCallbacks) {
+  Engine eng;
+  std::array<char, InlineCallback::kInlineBytes + 1> big{};
+  eng.schedule(0, [big] { (void)big; });
+  eng.schedule(0, [] {});
+  eng.run();
+  EXPECT_EQ(eng.callback_heap_allocs(), 1u);
+  const auto& hist = eng.callback_size_hist();
+  EXPECT_EQ(hist[Engine::kSizeBuckets - 1], 1u);  // heap bucket
+  EXPECT_EQ(hist[0], 1u);  // captureless lambda: 1 byte
+  std::uint64_t total = 0;
+  for (auto n : hist) total += n;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(Engine, OrderingInvariantUnderInterleavedScheduling) {
+  // Stress the (time, seq) invariant: callbacks schedule more events at
+  // already-populated times; execution must be globally time-ordered
+  // with FIFO tie-break (scheduling order within a timestamp).
+  Engine eng;
+  std::vector<std::pair<Time, int>> fired;
+  int next_id = 0;
+  Rng rng(123);
+  for (int i = 0; i < 64; ++i) {
+    const Time t = static_cast<Time>(rng.below(16));
+    const int id = next_id++;
+    eng.schedule(t, [&, id] {
+      fired.emplace_back(eng.now(), id);
+      if (fired.size() < 512) {
+        const Time dt = static_cast<Time>(rng.below(4));
+        const int nid = next_id++;
+        eng.schedule(dt, [&, nid] { fired.emplace_back(eng.now(), nid); });
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(eng.executed(), fired.size());
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first) << "time went backwards";
+  }
+  EXPECT_EQ(eng.callback_heap_allocs(), 0u);
+}
+
+TEST(Engine, SlotReuseSurvivesDeepRecycling) {
+  // Self-rescheduling chains churn slots far past the slab's first
+  // chunk, so every slot recycles many times.
+  struct Self {
+    Engine* eng;
+    std::uint64_t* remaining;
+    std::uint64_t* hits;
+    void operator()() const {
+      if (*remaining == 0) return;
+      ++*hits;
+      if (--*remaining > 0) eng->schedule(1, Self{eng, remaining, hits});
+    }
+  };
+  Engine eng;
+  std::uint64_t remaining = 5000;
+  std::uint64_t hits = 0;
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule(i, Self{&eng, &remaining, &hits});
+  }
+  eng.run();
+  EXPECT_EQ(hits, 5000u);
+  EXPECT_EQ(eng.callback_heap_allocs(), 0u);
 }
 
 TEST(Metrics, CounterIsMonotonic) {
