@@ -55,6 +55,12 @@ void usage(const char* argv0) {
       "  --blocks N      override the block size (bytes)\n"
       "  --seed N        override the experiment seed\n"
       "  --line-rate G   override the link rate (Gbit/s)\n"
+      "  --drop-rate P   wire packet-drop probability [0,1]\n"
+      "  --dup-rate P    wire packet-duplication probability [0,1]\n"
+      "  --reorder-rate P  wire packet-reorder probability [0,1]\n"
+      "  --fault-seed N  seed of the fault schedule\n"
+      "                  (fault flags apply to lossy-wire experiments,\n"
+      "                  e.g. ablation_faults; others ignore them)\n"
       "  --json PATH     write the machine-readable report\n"
       "  --jobs N        thread count for experiments + sweep points\n"
       "                  (0 = hardware concurrency, default 1;\n"
@@ -158,6 +164,26 @@ int bench_main(int argc, char** argv) {
       double d = 0;
       ok = v != nullptr && parse_f64(v, &d);
       if (ok) params.line_rate = d;
+    } else if (std::strcmp(arg, "--drop-rate") == 0) {
+      const char* v = next();
+      double d = 0;
+      ok = v != nullptr && parse_f64(v, &d) && d >= 0.0 && d <= 1.0;
+      if (ok) params.drop_rate = d;
+    } else if (std::strcmp(arg, "--dup-rate") == 0) {
+      const char* v = next();
+      double d = 0;
+      ok = v != nullptr && parse_f64(v, &d) && d >= 0.0 && d <= 1.0;
+      if (ok) params.dup_rate = d;
+    } else if (std::strcmp(arg, "--reorder-rate") == 0) {
+      const char* v = next();
+      double d = 0;
+      ok = v != nullptr && parse_f64(v, &d) && d >= 0.0 && d <= 1.0;
+      if (ok) params.reorder_rate = d;
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      const char* v = next();
+      std::uint64_t n = 0;
+      ok = v != nullptr && parse_u64(v, &n);
+      if (ok) params.fault_seed = n;
     } else if (std::strcmp(arg, "--json") == 0) {
       const char* v = next();
       ok = v != nullptr;

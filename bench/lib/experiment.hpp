@@ -28,6 +28,7 @@
 
 #include "bench/lib/parallel.hpp"
 #include "bench/lib/report.hpp"
+#include "sim/faults/faults.hpp"
 #include "sim/trace/chrome.hpp"
 #include "sim/trace/trace.hpp"
 
@@ -52,6 +53,10 @@ class Params {
   std::optional<std::uint64_t> blocks;  // block size (bytes)
   std::optional<std::uint64_t> seed;
   std::optional<double> line_rate;  // Gbit/s
+  std::optional<double> drop_rate;          // --drop-rate
+  std::optional<double> dup_rate;           // --dup-rate
+  std::optional<double> reorder_rate;       // --reorder-rate
+  std::optional<std::uint64_t> fault_seed;  // --fault-seed
   bool smoke = false;
   bool percentiles = false;  // --percentiles
   std::optional<std::string> trace_path;        // --trace
@@ -79,6 +84,21 @@ class Params {
   }
   double line_rate_or(double def) const {
     return echo("line_rate_gbps", line_rate.value_or(def));
+  }
+  /// Effective wire-fault config for experiments that model a lossy
+  /// wire: CLI overrides applied on top of `def`, with every rate and
+  /// the fault seed echoed into the report. Experiments that never call
+  /// this keep their parameter echo (and JSON) free of fault fields —
+  /// the reliability layer stays inert for them.
+  sim::faults::FaultConfig faults_or(
+      const sim::faults::FaultConfig& def) const {
+    sim::faults::FaultConfig fc = def;
+    fc.drop_rate = echo("drop_rate", drop_rate.value_or(def.drop_rate));
+    fc.dup_rate = echo("dup_rate", dup_rate.value_or(def.dup_rate));
+    fc.reorder_rate =
+        echo("reorder_rate", reorder_rate.value_or(def.reorder_rate));
+    fc.seed = echo("fault_seed", fault_seed.value_or(def.seed));
+    return fc;
   }
 
   /// TraceConfig for a simulation run under the current flags: events

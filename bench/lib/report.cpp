@@ -41,6 +41,12 @@ Cell cell_bytes(double bytes) {
   return Cell{human_bytes(bytes), Json{bytes}};
 }
 
+Cell cell_percent(double fraction, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return Cell{buf, Json{fraction}};
+}
+
 void Table::print() const {
   std::size_t ncols = columns_.size();
   for (const auto& r : rows_) ncols = std::max(ncols, r.size());

@@ -37,6 +37,9 @@ Cell cell(const std::string& text);
 Cell cell(const std::string& text, Json value);  // custom human form
 Cell cell(double v, int precision, const std::string& suffix = "");
 Cell cell_bytes(double bytes);  // human_bytes text, raw byte value
+/// Rate cell: renders `fraction` (e.g. 0.015) as a percentage ("1.5%")
+/// while the JSON row keeps the raw fraction.
+Cell cell_percent(double fraction, int precision = 1);
 
 template <typename T>
   requires std::is_integral_v<T>

@@ -14,6 +14,18 @@
 // trivially copyable: copies are the paper's *checkpoints* (RO-CP makes a
 // local copy per handler; RW-CP hands each vHPU exclusive ownership of
 // one and keeps a master copy to roll back on out-of-order arrival).
+//
+// Ordering and idempotence contract: process() makes no assumption about
+// the order windows arrive in — any permutation of [first, last) windows
+// covering the stream produces the same set of (offset, size) regions,
+// because the mapping stream-byte -> buffer-byte is a pure function of
+// the dataloop. Re-processing a window (duplicate packet delivery, or a
+// retransmitted copy on a lossy wire) emits exactly the regions of the
+// first pass, so the rewrite is byte-identical and harmless. The only
+// order-dependent quantities are the *costs* (catchup_bytes, resets) —
+// never the emitted regions. RW-CP relies on this: rolling the master
+// copy back to a checkpoint at or before a stale window and catching up
+// re-emits identical regions for bytes that already landed.
 
 #include <array>
 #include <cstdint>

@@ -150,7 +150,12 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   const std::uint64_t msg_id = 1;
   auto packets = p4::packetize(msg_id, me.match_bits, packed,
                                nic.cost().pkt_payload);
-  if (config.ooo_window > 1) {
+  const sim::faults::FaultPlan fault_plan(config.faults, msg_id);
+  bool put_ok = true;
+  if (fault_plan.active()) {
+    link.send_reliable(packets, 0, fault_plan, config.retransmit,
+                       [&put_ok](sim::Time, bool ok) { put_ok = ok; });
+  } else if (config.ooo_window > 1) {
     link.send_shuffled(packets, 0, config.ooo_window, config.seed);
   } else {
     link.send(packets, 0);
@@ -158,7 +163,9 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   engine.run();
 
   const auto* info = nic.info(msg_id);
+  assert(put_ok && "reliable put exhausted its retries");
   assert(info != nullptr && info->done && "message did not complete");
+  (void)put_ok;
 
   if (run.tracer != nullptr && run.tracer->events_on()) {
     // One span covering the whole message (first byte -> unpack done).
@@ -204,6 +211,10 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   res.nic_memory_peak =
       static_cast<std::uint64_t>(snap.gauge_peak("nic.mem.used"));
   res.handlers = snap.counter("nic.handler.invocations");
+  // Zero (and absent from the snapshot) unless the run was lossy.
+  res.retransmits = snap.counter("p4.retransmits");
+  res.pkts_dropped = snap.counter("p4.pkts_dropped");
+  res.dup_deliveries = snap.counter("p4.dup_deliveries");
   if (res.handlers > 0) {
     res.handler_init = static_cast<sim::Time>(
         snap.counter("nic.handler.init_time_ps") / res.handlers);

@@ -11,6 +11,8 @@
 
 #include "ddt/datatype.hpp"
 #include "offload/strategy.hpp"
+#include "p4/put.hpp"
+#include "sim/faults/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace/trace.hpp"
 #include "spin/cost_model.hpp"
@@ -30,6 +32,15 @@ struct ReceiveConfig {
   /// order). Exercises segment resets / checkpoint rollback.
   std::uint32_t ooo_window = 0;
   std::uint64_t seed = 1;
+  /// Wire fault injection (drop/dup/reorder rates + fault seed). When
+  /// active() the message goes through the reliable transport
+  /// (spin::Link::send_reliable) and `ooo_window` is ignored; when inert
+  /// (all rates zero, the default) the run is byte-identical to a build
+  /// without the fault layer.
+  sim::faults::FaultConfig faults{};
+  /// Retransmission policy of the reliable transport; only read when
+  /// `faults` is active.
+  p4::RetransmitConfig retransmit{};
   bool verify = true;
   /// Event/stats tracing (zero-cost when left default-disabled).
   /// `trace.events` also records the Fig 15 DMA queue-depth trace.

@@ -61,6 +61,14 @@ struct ReceiveResult {
   std::uint64_t checkpoint_interval = 0;
   std::uint64_t checkpoints = 0;
 
+  /// Reliability-layer observations, nonzero only when the receive ran
+  /// over a lossy wire (ReceiveConfig::faults.active()): timed-out
+  /// re-sends, attempts dropped on the wire, and duplicate packet
+  /// deliveries reaching the NIC.
+  std::uint64_t retransmits = 0;
+  std::uint64_t pkts_dropped = 0;
+  std::uint64_t dup_deliveries = 0;
+
   bool verified = false;  // receive buffer matched the reference unpack
 
   double throughput_gbps() const {

@@ -3,8 +3,13 @@
 //
 // Following the paper's NIC model (Sec 2.1.2): a message is delivered as
 // a *header* packet first, zero or more *payload* packets, and a
-// *completion* packet last. The network guarantees header-first /
-// completion-last but may reorder payload packets in between.
+// *completion* packet last. On a lossless wire the network guarantees
+// header-first / completion-last but may reorder payload packets in
+// between. Under fault injection (sim/faults) those guarantees are
+// re-established by the reliable transport instead: the completion
+// packet is held back until every other packet was acknowledged, while
+// header/payload arrival order is arbitrary — the NIC matches on any
+// packet (match bits ride on all of them) and tolerates duplicates.
 
 #include <cstddef>
 #include <cstdint>
@@ -24,6 +29,13 @@ struct Packet {
   std::uint32_t payload_bytes = 0;
   bool first = false;  // header packet
   bool last = false;   // completion packet
+  /// Set by the reliable transport on copies it re-sends after a timeout
+  /// (attempt > 0). The flags below fill what was struct padding, so
+  /// sizeof(Packet) stays 40 and NIC callbacks capturing a packet by
+  /// value keep fitting sim::InlineCallback's inline storage.
+  bool retransmit = false;
+  /// Set on the second delivery of a duplicated transmission.
+  bool dup = false;
   /// Packed message bytes for [offset, offset+payload_bytes); may be
   /// nullptr for a PtlProcessPut packet, where the sender-side handler is
   /// responsible for fetching the data (paper Sec 3.1.2).

@@ -1,9 +1,31 @@
 #include "p4/put.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <cstring>
 
 namespace netddt::p4 {
+
+sim::Time RetransmitConfig::timeout_for(std::uint32_t attempt,
+                                        sim::Time base) const {
+  assert(base > 0 && "effective base timeout must be positive");
+  const double scaled = static_cast<double>(base) *
+                        std::pow(backoff > 1.0 ? backoff : 1.0,
+                                 static_cast<double>(attempt));
+  // Saturate rather than overflow: int64 picoseconds cover ~106 days,
+  // far beyond any simulated run.
+  constexpr double kMax = 9.0e18;
+  return scaled >= kMax ? static_cast<sim::Time>(kMax)
+                        : static_cast<sim::Time>(scaled);
+}
+
+bool ReliablePutState::mark_acked(std::size_t i) {
+  assert(i < acked_.size());
+  if (acked_[i]) return false;
+  acked_[i] = true;
+  ++acked_count_;
+  return true;
+}
 
 std::vector<Packet> packetize(std::uint64_t msg_id, std::uint64_t match_bits,
                               std::span<const std::byte> data,

@@ -1,13 +1,24 @@
 #pragma once
-// Put-operation packetization, including the paper's Portals 4
-// extensions (Sec 3.1):
+// Put-operation packetization and sender-side reliability, including the
+// paper's Portals 4 extensions (Sec 3.1):
 //  - plain puts: one packed buffer split into header/payload/completion
 //    packets;
 //  - *streaming puts* (PtlSPutStart / PtlSPutStream): the message data is
 //    supplied across multiple calls as contiguous chunks, but the target
 //    sees ONE message — packets are cut as soon as enough bytes have
 //    accumulated, which is what lets the sender overlap region discovery
-//    with transmission.
+//    with transmission;
+//  - the per-packet acknowledgement / retransmission bookkeeping
+//    (RetransmitConfig, ReliablePutState) a lossy wire needs. The
+//    protocol machine itself lives in spin::Link::send_reliable; this
+//    layer owns the pure state so it is testable without a simulator.
+//
+// Ordering contract: packetize() emits packets in stream order (header
+// first, completion last) and the lossless link preserves it. Under
+// fault injection the transport keeps only two invariants: the
+// completion packet is transmitted after every other packet is acked,
+// and a put completes (all-acked) only after the completion packet is
+// acked too. All timing constants are sim::Time picoseconds.
 
 #include <cstddef>
 #include <cstdint>
@@ -15,6 +26,7 @@
 #include <vector>
 
 #include "p4/packet.hpp"
+#include "sim/time.hpp"
 
 namespace netddt::p4 {
 
@@ -57,6 +69,71 @@ class StreamingPut {
   std::uint64_t staged_ = 0;
   std::uint64_t emitted_ = 0;
   bool finished_ = false;
+};
+
+/// Retransmission policy of a reliable put: per-packet timeout with
+/// exponential backoff and capped retries.
+struct RetransmitConfig {
+  /// Base retransmit timeout (ps), measured from the instant a packet
+  /// departs onto the wire. 0 means "derive from the link": the
+  /// transport substitutes a timeout safely above one round trip plus
+  /// the worst-case reorder skew, so in-flight packets are never
+  /// retransmitted spuriously.
+  sim::Time timeout = 0;
+  /// Timeout multiplier per failed attempt (attempt n waits
+  /// timeout * backoff^n).
+  double backoff = 2.0;
+  /// Retransmissions allowed per packet before the put fails.
+  std::uint32_t max_retries = 16;
+
+  /// Timeout for `attempt` (0 = first transmission) given the effective
+  /// base timeout.
+  sim::Time timeout_for(std::uint32_t attempt, sim::Time base) const;
+};
+
+/// Sender-side state of one reliable put over `npkt` packets: which
+/// packets are acknowledged and how often each was (re)transmitted.
+/// Put completion is all_acked(); the transport releases the completion
+/// packet (index npkt-1) once data_acked() holds. Pure bookkeeping —
+/// no simulator types, so tests can drive it directly.
+class ReliablePutState {
+ public:
+  explicit ReliablePutState(std::size_t npkt)
+      : acked_(npkt, false), attempts_(npkt, 0) {}
+
+  std::size_t packets() const { return acked_.size(); }
+  bool acked(std::size_t i) const { return acked_[i]; }
+  /// Record an ack; returns true when `i` was not acked before (the
+  /// transport ignores duplicate acks).
+  bool mark_acked(std::size_t i);
+  /// All packets except the final (completion) one acked.
+  bool data_acked() const { return acked_count_ + 1 >= acked_.size(); }
+  bool all_acked() const { return acked_count_ == acked_.size(); }
+
+  /// Transmissions of packet `i` so far (1 = first send done).
+  std::uint32_t attempts(std::size_t i) const { return attempts_[i]; }
+  void record_attempt(std::size_t i) {
+    if (attempts_[i] == 0) ++first_attempts_;
+    ++attempts_[i];
+    ++total_attempts_;
+  }
+  std::uint64_t total_attempts() const { return total_attempts_; }
+  /// Retransmissions = attempts beyond the first per packet.
+  std::uint64_t retransmits() const {
+    return total_attempts_ -
+           static_cast<std::uint64_t>(first_attempts_);
+  }
+
+  bool failed() const { return failed_; }
+  void mark_failed() { failed_ = true; }
+
+ private:
+  std::vector<bool> acked_;
+  std::vector<std::uint32_t> attempts_;
+  std::size_t acked_count_ = 0;
+  std::uint64_t total_attempts_ = 0;
+  std::uint32_t first_attempts_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace netddt::p4

@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic fault injection for the simulated wire.
+//
+// The paper's general unpack strategies (RO-CP / RW-CP, Sec 3.2.4) exist
+// because receiver-side dataloop state must survive out-of-order and
+// partial delivery: sPIN schedules handlers per packet with no ordering
+// guarantee, and a lossy network adds retransmissions, duplicates and
+// arbitrary skew on top. This layer makes those conditions reproducible:
+// a FaultPlan decides — per packet *transmission attempt* — whether the
+// attempt is dropped on the wire, delivered twice, or delivered late.
+//
+// Determinism contract: every decision is a pure function of
+// (seed, msg_id, pkt_index, attempt). No generator state is shared
+// between decisions, so the fault schedule is byte-identical no matter
+// in which order the transport asks, how often a packet is retried
+// first, or how many --jobs threads run simulations concurrently.
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace netddt::sim::faults {
+
+/// Per-wire fault rates. All rates are probabilities in [0, 1] applied
+/// independently per transmission attempt; the layer is inert (and the
+/// reliable transport is bypassed entirely) when active() is false.
+struct FaultConfig {
+  double drop_rate = 0.0;     // P(attempt is lost on the wire)
+  double dup_rate = 0.0;      // P(attempt is delivered twice)
+  double reorder_rate = 0.0;  // P(arrival is skewed by 1..reorder_window
+                              //   packet slots, overtaking later sends)
+  /// Maximum skew, in packet-serialization slots, applied to a reordered
+  /// (or duplicated) delivery. Must be >= 1 when reorder/dup rates are
+  /// nonzero.
+  std::uint32_t reorder_window = 8;
+  std::uint64_t seed = 1;
+
+  bool active() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0;
+  }
+};
+
+/// Outcome for one transmission attempt. `delay_slots` / `dup_delay_slots`
+/// are in units of one packet serialization interval
+/// (CostModel::pkt_interval()); the transport converts them to time.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;          // meaningless when drop is set
+  std::uint32_t delay_slots = 0;   // extra arrival skew (reorder)
+  std::uint32_t dup_delay_slots = 0;  // skew of the duplicate copy, >= 1
+};
+
+/// The fault schedule of one message: a value type cheap to copy into
+/// simulation callbacks. decide() is const and stateless — see the
+/// determinism contract above.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultConfig& config, std::uint64_t msg_id)
+      : config_(config), msg_id_(msg_id) {}
+
+  const FaultConfig& config() const { return config_; }
+  std::uint64_t msg_id() const { return msg_id_; }
+  bool active() const { return config_.active(); }
+
+  /// Fault outcome for transmission `attempt` (0 = first send) of packet
+  /// `pkt_index`. Deterministic: same (config, msg_id, pkt_index,
+  /// attempt) always returns the same decision.
+  FaultDecision decide(std::uint64_t pkt_index, std::uint32_t attempt) const;
+
+ private:
+  FaultConfig config_{};
+  std::uint64_t msg_id_ = 0;
+};
+
+}  // namespace netddt::sim::faults

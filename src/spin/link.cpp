@@ -52,6 +52,198 @@ sim::Time Link::send_paced(const std::vector<p4::Packet>& packets,
   return deliver_in_order(order, ready, start);
 }
 
+// --- Reliable transport over a faulty wire --------------------------------
+//
+// One ReliableTransfer is the sender-side state machine of a single put:
+// ack bitmap + attempt counts (p4::ReliablePutState), the transfer's own
+// wire-occupancy clock, and the lazily registered reliability metrics.
+// Engine callbacks keep the transfer alive through a shared_ptr; every
+// capture below stays within InlineCallback's 64-byte inline storage.
+
+struct Link::ReliableTransfer {
+  Link* link;
+  const std::vector<p4::Packet>* packets;
+  sim::faults::FaultPlan plan;
+  p4::RetransmitConfig rc;
+  sim::Time base_timeout = 0;
+  p4::ReliablePutState state;
+  sim::Time link_free = 0;
+  bool completion_sent = false;
+  bool done = false;
+  // Receiver-side reorder observation: distance of each arrival behind
+  // the highest packet index seen so far.
+  std::uint64_t max_seen_idx = 0;
+  bool any_seen = false;
+  PutCompleteFn on_complete;
+
+  sim::Counter* retransmits;
+  sim::Counter* dropped;
+  sim::Counter* acks;
+  sim::Counter* dups;
+  sim::Counter* failures;
+  sim::Counter* wire_bytes;
+  sim::Gauge* reorder_depth;
+
+  sim::trace::Tracer* tracer = nullptr;
+  std::uint32_t link_track = 0;
+
+  ReliableTransfer(Link* l, const std::vector<p4::Packet>& pkts,
+                   const sim::faults::FaultPlan& p,
+                   const p4::RetransmitConfig& cfg)
+      : link(l), packets(&pkts), plan(p), rc(cfg), state(pkts.size()) {
+    sim::MetricsRegistry& m = l->target_->metrics();
+    retransmits = &m.counter("p4.retransmits");
+    dropped = &m.counter("p4.pkts_dropped");
+    acks = &m.counter("p4.acks");
+    dups = &m.counter("p4.dup_deliveries");
+    failures = &m.counter("p4.put_failures");
+    wire_bytes = &m.counter("link.wire_bytes");
+    reorder_depth = &m.gauge("link.reorder_depth");
+    sim::trace::Tracer* t = l->target_->tracer();
+    if (t != nullptr && t->events_on()) {
+      tracer = t;
+      link_track = t->track("link");
+    }
+  }
+};
+
+void Link::send_reliable(const std::vector<p4::Packet>& packets,
+                         sim::Time start,
+                         const sim::faults::FaultPlan& plan,
+                         const p4::RetransmitConfig& rc,
+                         PutCompleteFn on_complete) {
+  assert(!packets.empty());
+  assert(plan.active() && "inert plans should use the lossless send()");
+  auto self = std::make_shared<ReliableTransfer>(this, packets, plan, rc);
+  self->on_complete = std::move(on_complete);
+  self->link_free = start;
+  // Derived timeout: one full round trip (serialization + two network
+  // latencies) plus the worst-case reorder skew of the packet and of its
+  // ack, so an undropped attempt is always acked before its timer fires.
+  self->base_timeout =
+      rc.timeout > 0
+          ? rc.timeout
+          : 2 * cost_->net_latency +
+                (plan.config().reorder_window + 2) * cost_->pkt_interval() +
+                cost_->wire_time(cost_->pkt_payload);
+  const std::size_t n = packets.size();
+  if (n == 1) {
+    // Single-packet put: the lone packet is both data and completion.
+    self->completion_sent = true;
+    transmit(self, 0, 0, start);
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    transmit(self, i, 0, start);
+  }
+}
+
+void Link::transmit(const std::shared_ptr<ReliableTransfer>& self,
+                    std::uint64_t idx, std::uint32_t attempt, sim::Time at) {
+  ReliableTransfer& t = *self;
+  const p4::Packet& src = (*t.packets)[idx];
+  t.state.record_attempt(static_cast<std::size_t>(idx));
+  const sim::Time depart = std::max(at, t.link_free);
+  const sim::Time on_wire = t.link->cost_->wire_time(
+      std::max<std::uint64_t>(src.payload_bytes, 1));  // header flit
+  t.link_free = depart + on_wire;
+  t.wire_bytes->add(src.payload_bytes);
+  if (t.tracer != nullptr) {
+    t.tracer->complete(t.link_track, attempt == 0 ? "wire" : "retransmit",
+                       depart, t.link_free,
+                       static_cast<std::int64_t>(src.msg_id),
+                       static_cast<std::int64_t>(idx));
+  }
+
+  const sim::faults::FaultDecision d = t.plan.decide(idx, attempt);
+  const sim::Time slot = t.link->cost_->pkt_interval();
+  if (d.drop) {
+    t.dropped->add(1);
+    if (t.tracer != nullptr) {
+      t.tracer->instant(t.link_track, "pkt.drop", t.link_free,
+                        static_cast<std::int64_t>(src.msg_id),
+                        static_cast<std::int64_t>(idx));
+    }
+  } else {
+    const sim::Time arrival =
+        t.link_free + t.link->cost_->net_latency + d.delay_slots * slot;
+    schedule_delivery(self, idx, attempt, arrival, /*is_dup=*/false);
+    if (d.duplicate) {
+      t.dups->add(1);
+      schedule_delivery(self, idx, attempt,
+                        arrival + d.dup_delay_slots * slot, /*is_dup=*/true);
+    }
+  }
+
+  const sim::Time timeout = t.rc.timeout_for(attempt, t.base_timeout);
+  t.link->engine_->schedule_at(depart + timeout, [self, idx, attempt] {
+    ReliableTransfer& tr = *self;
+    if (tr.done || tr.state.acked(static_cast<std::size_t>(idx))) return;
+    if (attempt + 1 > tr.rc.max_retries) {
+      fail(self);
+      return;
+    }
+    tr.retransmits->add(1);
+    transmit(self, idx, attempt + 1, tr.link->engine_->now());
+  });
+}
+
+void Link::schedule_delivery(const std::shared_ptr<ReliableTransfer>& self,
+                             std::uint64_t idx, std::uint32_t attempt,
+                             sim::Time arrival, bool is_dup) {
+  self->link->engine_->schedule_at(
+      arrival, [self, idx, attempt, is_dup] {
+        ReliableTransfer& t = *self;
+        p4::Packet pkt = (*t.packets)[idx];
+        pkt.retransmit = attempt > 0;
+        pkt.dup = is_dup;
+        if (t.any_seen && idx < t.max_seen_idx) {
+          t.reorder_depth->set(
+              static_cast<std::int64_t>(t.max_seen_idx - idx));
+        } else {
+          t.max_seen_idx = idx;
+          t.any_seen = true;
+          t.reorder_depth->set(0);
+        }
+        t.link->target_->deliver(pkt);
+        // Ack on the lossless return channel.
+        t.link->engine_->schedule(t.link->cost_->net_latency,
+                                  [self, idx] { on_ack(self, idx); });
+      });
+}
+
+void Link::on_ack(const std::shared_ptr<ReliableTransfer>& self,
+                  std::uint64_t idx) {
+  ReliableTransfer& t = *self;
+  t.acks->add(1);
+  if (t.done || !t.state.mark_acked(static_cast<std::size_t>(idx))) return;
+  const std::uint64_t last = t.packets->size() - 1;
+  if (idx == last) {
+    // Completion packet acked: the put is complete.
+    t.done = true;
+    if (t.tracer != nullptr) {
+      t.tracer->instant(t.link_track, "put.complete",
+                        t.link->engine_->now(),
+                        static_cast<std::int64_t>((*t.packets)[0].msg_id));
+    }
+    if (t.on_complete) t.on_complete(t.link->engine_->now(), true);
+    return;
+  }
+  if (!t.completion_sent && t.state.data_acked()) {
+    // Every data packet acked: release the held-back completion packet.
+    t.completion_sent = true;
+    transmit(self, last, 0, t.link->engine_->now());
+  }
+}
+
+void Link::fail(const std::shared_ptr<ReliableTransfer>& self) {
+  ReliableTransfer& t = *self;
+  t.done = true;
+  t.state.mark_failed();
+  t.failures->add(1);
+  if (t.on_complete) t.on_complete(t.link->engine_->now(), false);
+}
+
 sim::Time Link::send_shuffled(const std::vector<p4::Packet>& packets,
                               sim::Time start, std::uint32_t window,
                               std::uint64_t seed) {

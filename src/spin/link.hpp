@@ -2,16 +2,39 @@
 // Network link: serializes a message's packets onto the wire at line
 // rate and delivers them to the target NIC after the network latency.
 //
-// The paper's model guarantees that the header packet arrives first and
-// the completion packet last; payload packets in between may be
-// reordered (send_shuffled) to exercise the out-of-order paths of the
-// offload strategies (segment resets, RW-CP checkpoint rollback).
+// Contract (lossless paths — send / send_paced / send_shuffled): the
+// header packet arrives first and the completion packet last; payload
+// packets in between may be reordered (send_shuffled) to exercise the
+// out-of-order paths of the offload strategies (segment resets, RW-CP
+// checkpoint rollback). Exactly-once delivery; the caller must keep the
+// packet data alive until the simulation drains.
+//
+// Contract (lossy path — send_reliable): transmissions pass through a
+// seeded sim::faults::FaultPlan that can drop, duplicate or skew each
+// attempt. The sender runs a per-packet ack/retransmit protocol
+// (exponential backoff, capped retries; see p4::RetransmitConfig) and
+// holds the completion packet back until every other packet is acked,
+// so the NIC's completion-last invariant survives any fault schedule.
+// Delivery becomes at-least-once: retransmitted and duplicated copies
+// reach NicModel::deliver with Packet::retransmit / Packet::dup set.
+// Acks travel on a lossless return channel (one net_latency); a packet
+// in flight is never retransmitted spuriously because the derived
+// default timeout exceeds one round trip plus the worst-case reorder
+// skew. Reliability metrics ("p4.retransmits", "p4.pkts_dropped",
+// "p4.acks", "p4.dup_deliveries", "p4.put_failures", "link.wire_bytes",
+// "link.reorder_depth") are registered in the target NIC's registry
+// lazily — a binary that never sends reliably publishes none of them.
+// All times are sim::Time picoseconds.
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "p4/packet.hpp"
+#include "p4/put.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults/faults.hpp"
 #include "sim/rng.hpp"
 #include "spin/cost_model.hpp"
 #include "spin/nic.hpp"
@@ -43,7 +66,35 @@ class Link {
                           sim::Time start, std::uint32_t window,
                           std::uint64_t seed);
 
+  /// Completion notification of a reliable put: fires once, either when
+  /// the completion packet is acked (`ok`) or when a packet exhausts its
+  /// retries (`!ok`; the message will never complete at the receiver).
+  using PutCompleteFn = std::function<void(sim::Time when, bool ok)>;
+
+  /// Send `packets` through the fault plan with sender-side reliability
+  /// (see the lossy-path contract above). `plan` must be active();
+  /// callers with an inert plan should use send() — the lossless path is
+  /// cheaper and byte-identical to pre-fault-layer behavior. As with
+  /// send(), the caller keeps `packets` and their data alive until the
+  /// simulation drains.
+  void send_reliable(const std::vector<p4::Packet>& packets, sim::Time start,
+                     const sim::faults::FaultPlan& plan,
+                     const p4::RetransmitConfig& rc = {},
+                     PutCompleteFn on_complete = {});
+
  private:
+  struct ReliableTransfer;
+
+  static void transmit(const std::shared_ptr<ReliableTransfer>& self,
+                       std::uint64_t idx, std::uint32_t attempt,
+                       sim::Time at);
+  static void schedule_delivery(const std::shared_ptr<ReliableTransfer>& self,
+                                std::uint64_t idx, std::uint32_t attempt,
+                                sim::Time arrival, bool is_dup);
+  static void on_ack(const std::shared_ptr<ReliableTransfer>& self,
+                     std::uint64_t idx);
+  static void fail(const std::shared_ptr<ReliableTransfer>& self);
+
   sim::Time deliver_in_order(const std::vector<const p4::Packet*>& order,
                              const std::vector<sim::Time>& ready,
                              sim::Time start);

@@ -58,10 +58,10 @@ void NicModel::deliver(const p4::Packet& pkt) {
   }
   auto it = msgs_.find(pkt.msg_id);
   if (it == msgs_.end()) {
-    // First packet of the message: run the matching unit. The network
-    // delivers the header packet first (paper Sec 2.1.2), so this is
-    // always the header.
-    assert(pkt.first && "non-header packet for unknown message");
+    // First packet of the message to arrive: run the matching unit. On a
+    // lossless wire this is the header packet (paper Sec 2.1.2); under
+    // fault injection any packet may open the message — match bits are
+    // replicated on all of them.
     // The matching unit walk is folded into rdma_nic_per_pkt in the cost
     // model; surface it as the "match" stage for first packets.
     if (tracer_ != nullptr) {
@@ -84,10 +84,21 @@ void NicModel::deliver(const p4::Packet& pkt) {
   }
 
   MsgState& st = it->second;
+  if (st.info.done) {
+    // Stale re-arrival (duplicate or late retransmit) after the final
+    // DMA landed: the buffer is already in its final state and the
+    // scheduler released this message, so drop the copy here.
+    dup_counter().add(1);
+    return;
+  }
   pkts_matched_->add(1);
   st.info.last_packet = engine_->now();
-  st.info.bytes += pkt.payload_bytes;
-  ++st.info.packets;
+  if (mark_seen(st, pkt)) {
+    st.info.bytes += pkt.payload_bytes;
+    ++st.info.packets;
+  } else {
+    dup_counter().add(1);
+  }
   if (pkt.last) st.completion_arrived = true;
 
   if (st.ctx == nullptr) {
@@ -95,6 +106,23 @@ void NicModel::deliver(const p4::Packet& pkt) {
   } else {
     deliver_spin(st, pkt);
   }
+}
+
+bool NicModel::mark_seen(MsgState& st, const p4::Packet& pkt) {
+  const std::uint64_t idx = pkt.offset / cost_.pkt_payload;
+  const std::uint64_t word = idx >> 6;
+  const std::uint64_t mask = 1ull << (idx & 63);
+  if (word >= st.seen.size()) st.seen.resize(word + 1, 0);
+  if ((st.seen[word] & mask) != 0) return false;
+  st.seen[word] |= mask;
+  return true;
+}
+
+sim::Counter& NicModel::dup_counter() {
+  if (dup_counter_ == nullptr) {
+    dup_counter_ = &metrics_.counter("nic.pkts.duplicate");
+  }
+  return *dup_counter_;
 }
 
 void NicModel::deliver_rdma(MsgState& st, const p4::Packet& pkt) {
@@ -247,6 +275,7 @@ void NicModel::on_final_dma(std::uint64_t msg_id, sim::Time when) {
   auto it = msgs_.find(msg_id);
   if (it == msgs_.end()) return;
   MsgState& st = it->second;
+  if (st.info.done) return;  // duplicate of a signalled write (lossy wire)
   st.info.unpack_done = when;
   st.info.done = true;
   msgs_completed_->add(1);

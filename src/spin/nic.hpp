@@ -79,6 +79,11 @@ class NicModel {
   ExecutionContext* register_context(ExecutionContext ctx);
 
   /// Deliver one packet at the current simulated time (called by Link).
+  /// Any packet of an unknown message runs the matching unit (match bits
+  /// ride on every packet), so a lossy wire may open a message with a
+  /// payload packet. Duplicate deliveries re-run handlers (idempotent:
+  /// they rewrite identical bytes); re-arrivals after the message
+  /// completed are dropped and counted under "nic.pkts.duplicate".
   void deliver(const p4::Packet& pkt);
 
   /// Per-message observation for benchmarks.
@@ -115,8 +120,19 @@ class NicModel {
     // arriving before the header handler finished are deferred.
     bool header_done = false;
     std::vector<p4::Packet> deferred;
+    // Bitmap of packet indices delivered at least once, so MsgInfo
+    // bytes/packets count *unique* packets even when the reliable
+    // transport delivers duplicates. On a lossless wire every packet is
+    // fresh and the bitmap changes nothing observable.
+    std::vector<std::uint64_t> seen;
     MsgInfo info;
   };
+
+  /// Mark the packet's index in `st.seen`; returns true on first sight.
+  bool mark_seen(MsgState& st, const p4::Packet& pkt);
+  /// "nic.pkts.duplicate", registered on the first duplicate observed so
+  /// lossless runs publish no reliability counters.
+  sim::Counter& dup_counter();
 
   void deliver_rdma(MsgState& st, const p4::Packet& pkt);
   void deliver_spin(MsgState& st, const p4::Packet& pkt);
@@ -148,6 +164,7 @@ class NicModel {
   sim::Counter* handler_setup_;        // nic.handler.setup_time_ps
   sim::Counter* handler_processing_;   // nic.handler.processing_time_ps
   sim::Counter* msgs_completed_;       // nic.msgs.completed
+  sim::Counter* dup_counter_ = nullptr;  // nic.pkts.duplicate (lazy)
 
   sim::trace::Tracer* tracer_ = nullptr;
   std::uint32_t inbound_track_ = 0;  // packet arrivals + message events

@@ -84,6 +84,12 @@ class Scheduler {
   }
 
   /// Drop per-message vHPU state once a message completes.
+  /// Precondition: no handler of `msg_id` is queued or running and no
+  /// further enqueue() for it will follow — the ready queue holds raw
+  /// Vhpu pointers into the erased deques. The NIC guarantees this by
+  /// dispatching the completion handler only after every payload handler
+  /// drained, and by dropping stale packet re-arrivals (duplicates, late
+  /// retransmits on a lossy wire) once the message is done.
   void release_message(std::uint64_t msg_id) { vhpus_.erase(msg_id); }
 
  private:
