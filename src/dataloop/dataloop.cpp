@@ -1,8 +1,10 @@
 #include "dataloop/dataloop.hpp"
 
 #include <cassert>
+#include <string>
 
 #include "ddt/normalize.hpp"
+#include "sim/check.hpp"
 
 namespace netddt::dataloop {
 
@@ -23,6 +25,7 @@ std::int64_t Dataloop::block_count() const {
 
 std::int64_t Dataloop::leaf_block_offset(std::int64_t i) const {
   assert(leaf);
+  NETDDT_CHECK(leaf, "block offset asked of a non-leaf dataloop");
   switch (kind) {
     case LoopKind::kContig:
       return 0;
@@ -30,17 +33,29 @@ std::int64_t Dataloop::leaf_block_offset(std::int64_t i) const {
       return i * stride;
     case LoopKind::kBlockIndexed:
     case LoopKind::kIndexed:
+      NETDDT_CHECK(i >= 0 &&
+                       static_cast<std::size_t>(i) < displs.size(),
+                   "leaf block index " + std::to_string(i) +
+                       " outside the displacement list of " +
+                       std::to_string(displs.size()) + " entries");
       return displs[static_cast<std::size_t>(i)];
     case LoopKind::kStruct:
       break;
   }
   assert(false && "struct loops are never leaves");
+  NETDDT_CHECK(kind != LoopKind::kStruct, "struct loops are never leaves");
   return 0;
 }
 
 std::uint64_t Dataloop::leaf_block_bytes(std::int64_t i) const {
   assert(leaf);
+  NETDDT_CHECK(leaf, "block size asked of a non-leaf dataloop");
   if (kind == LoopKind::kIndexed) {
+    NETDDT_CHECK(i >= 0 && static_cast<std::size_t>(i) <
+                               block_bytes_list.size(),
+                 "leaf block index " + std::to_string(i) +
+                     " outside the size list of " +
+                     std::to_string(block_bytes_list.size()) + " entries");
     return block_bytes_list[static_cast<std::size_t>(i)];
   }
   return block_bytes;
@@ -64,8 +79,23 @@ std::uint64_t Dataloop::serialized_bytes() const {
 
 CompiledDataloop::CompiledDataloop(ddt::TypePtr type, std::uint64_t count)
     : type_(ddt::normalize(type)), count_(count) {
-  assert(type_ && type_->size() > 0 && "cannot compile an empty datatype");
+  assert(type_ && "cannot compile a null datatype");
   root_extent_ = type_->extent();
+  if (type_->size() == 0) {
+    // Zero-size datatype (zero-count loop, empty struct, ...): compile to
+    // an empty contig leaf so total_bytes() == 0 and a Segment over it is
+    // born finished. A 0-byte put then completes through the normal
+    // completion path instead of hitting UB in release builds.
+    Dataloop* dl = fresh();
+    dl->kind = LoopKind::kContig;
+    dl->leaf = true;
+    dl->block_bytes = 0;
+    dl->size = 0;
+    dl->extent = root_extent_;
+    depth_ = 1;
+    root_ = dl;
+    return;
+  }
   root_ = compile(type_, 1);
 }
 
@@ -110,6 +140,8 @@ const Dataloop* CompiledDataloop::compile(const ddt::TypePtr& t,
     case ddt::Kind::kElementary:
       // Elementary types are dense; handled above.
       assert(false);
+      NETDDT_CHECK(t->kind() != ddt::Kind::kElementary,
+                   "non-dense elementary type reached the compiler");
       break;
 
     case ddt::Kind::kContiguous: {
@@ -218,6 +250,8 @@ const Dataloop* CompiledDataloop::compile(const ddt::TypePtr& t,
 
     case ddt::Kind::kResized:
       assert(false && "resized handled before allocation");
+      NETDDT_CHECK(t->kind() != ddt::Kind::kResized,
+                   "resized wrapper reached the node allocator");
       break;
   }
   return dl;

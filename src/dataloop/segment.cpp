@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "sim/check.hpp"
 
 namespace netddt::dataloop {
 
 Segment::Segment(const CompiledDataloop& loops)
     : loops_(&loops), total_bytes_(loops.total_bytes()) {
   assert(loops.depth() <= kMaxDepth && "datatype nests too deeply");
+  NETDDT_CHECK(loops.depth() <= kMaxDepth,
+               "datatype nests deeper than the fixed segment stack: depth " +
+                   std::to_string(loops.depth()));
 }
 
 void Segment::reset() {
@@ -40,12 +46,17 @@ std::int64_t Segment::child_base(const Cursor& c) const {
 void Segment::descend(const Dataloop* loop, std::int64_t base) {
   for (;;) {
     assert(depth_ < kMaxDepth);
+    NETDDT_CHECK(depth_ < kMaxDepth,
+                 "dataloop descent overflows the cursor stack");
+    NETDDT_CHECK(loop != nullptr, "descending into a null dataloop child");
     Cursor& c = stack_[depth_++];
     c.loop = loop;
     c.base = base;
     c.block_idx = 0;
     c.elem_idx = 0;
     if (loop->leaf) return;
+    NETDDT_CHECK(loop->kind != LoopKind::kStruct || !loop->members.empty(),
+                 "non-leaf struct dataloop with no members");
     const Dataloop* next = loop->kind == LoopKind::kStruct
                                ? loop->members.front().child
                                : loop->child;
@@ -121,9 +132,22 @@ void Segment::pop_and_advance() {
 void Segment::advance_stream(std::uint64_t limit, const RegionEmit* emit,
                              ProcessStats& stats) {
   assert(limit <= total_bytes_);
+  NETDDT_CHECK(limit <= total_bytes_,
+               "window limit " + std::to_string(limit) +
+                   " past the packed stream end " +
+                   std::to_string(total_bytes_));
   while (stream_pos_ < limit) {
+    if (sim::check::enabled()) {
+      sim::check::context().stream_offset =
+          static_cast<std::int64_t>(stream_pos_);
+    }
     const bool have = ensure_leaf();
     assert(have && "stream exhausted before limit");
+    NETDDT_CHECK(have, "dataloop walk exhausted " +
+                           std::to_string(stream_pos_) +
+                           " bytes into a " + std::to_string(total_bytes_) +
+                           "-byte stream, " + std::to_string(limit - stream_pos_) +
+                           " bytes short of the window limit");
     (void)have;
     Cursor& top = stack_[depth_ - 1];
     const Dataloop& leaf = *top.loop;
@@ -182,9 +206,14 @@ void Segment::advance_stream(std::uint64_t limit, const RegionEmit* emit,
     const std::uint64_t bytes = leaf.leaf_block_bytes(top.block_idx);
     const std::int64_t offset =
         top.base + leaf.leaf_block_offset(top.block_idx);
+    NETDDT_CHECK(leaf_byte_ < bytes || (bytes == 0 && leaf_byte_ == 0),
+                 "cursor rests past the end of a leaf block");
     const std::uint64_t avail = bytes - leaf_byte_;
     const std::uint64_t take =
         std::min<std::uint64_t>(avail, limit - stream_pos_);
+    NETDDT_CHECK(take > 0,
+                 "zero-byte leaf block inside a non-empty stream would "
+                 "stall the walk");
     if (emit != nullptr) {
       (*emit)(offset + static_cast<std::int64_t>(leaf_byte_), take);
       ++stats.regions_emitted;
@@ -206,6 +235,13 @@ void Segment::advance_stream(std::uint64_t limit, const RegionEmit* emit,
 ProcessStats Segment::process(std::uint64_t first, std::uint64_t last,
                               const RegionEmit& emit) {
   assert(first <= last && last <= total_bytes_);
+  NETDDT_CHECK(first <= last, "inverted stream window [" +
+                                  std::to_string(first) + ", " +
+                                  std::to_string(last) + ")");
+  NETDDT_CHECK(last <= total_bytes_,
+               "stream window [" + std::to_string(first) + ", " +
+                   std::to_string(last) + ") past the message end " +
+                   std::to_string(total_bytes_));
   ProcessStats stats;
   if (first < stream_pos_) {
     // The window starts before our position: rewind entirely (MPITypes
@@ -249,6 +285,9 @@ const Checkpoint& CheckpointTable::closest(std::uint64_t pos) const {
       table_.begin(), table_.end(), pos,
       [](std::uint64_t p, const Checkpoint& c) { return p < c.stream_pos; });
   assert(it != table_.begin());
+  NETDDT_CHECK(it != table_.begin(),
+               "no checkpoint at or before stream position " +
+                   std::to_string(pos));
   return *std::prev(it);
 }
 

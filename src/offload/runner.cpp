@@ -1,8 +1,10 @@
 #include "offload/runner.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <memory>
+#include <optional>
 
 #include "ddt/pack.hpp"
 #include "offload/general.hpp"
@@ -10,6 +12,7 @@
 #include "offload/iovec.hpp"
 #include "offload/specialized.hpp"
 #include "p4/put.hpp"
+#include "sim/check.hpp"
 #include "spin/link.hpp"
 #include "spin/nic.hpp"
 
@@ -27,10 +30,8 @@ std::string_view strategy_name(StrategyKind kind) {
   return "?";
 }
 
-namespace {
-
-std::vector<std::byte> packed_pattern(std::uint64_t bytes,
-                                      std::uint64_t seed) {
+std::vector<std::byte> packed_message_pattern(std::uint64_t bytes,
+                                              std::uint64_t seed) {
   std::vector<std::byte> v(bytes);
   for (std::uint64_t i = 0; i < bytes; ++i) {
     v[i] = static_cast<std::byte>((i * 167 + seed * 13 + 5) & 0xFF);
@@ -38,24 +39,33 @@ std::vector<std::byte> packed_pattern(std::uint64_t bytes,
   return v;
 }
 
-}  // namespace
-
 ReceiveRun run_receive(const ReceiveConfig& config) {
-  assert(config.type && config.type->size() > 0);
-  assert(config.type->lb() >= 0 &&
-         "experiments assume non-negative layouts");
+  assert(config.type && "receive needs a datatype");
+  assert(config.count > 0 && "receive needs at least one instance");
+  std::optional<sim::check::ScopedEnable> check_scope;
+  if (config.validate) check_scope.emplace(true);
 
   const std::uint64_t msg_bytes = config.type->size() * config.count;
   // Instance i occupies [i*extent + lb, i*extent + ub): with lb > 0 the
-  // last instance reaches beyond count*extent, so size off ub.
+  // last instance reaches beyond count*extent, so size off the upper
+  // bound. Negative lb (resized types) puts bytes below offset 0; shift
+  // the whole window up so the layout stays inside the buffer — every
+  // DMA target already goes through MatchEntry::buffer_offset.
+  const std::int64_t lo = std::min(
+      {std::int64_t{0}, config.type->lb(), config.type->true_lb()});
+  const std::int64_t hi = std::max(
+      {std::int64_t{0}, config.type->ub(), config.type->true_ub()});
+  const std::uint64_t shift = static_cast<std::uint64_t>(-lo);
   const std::uint64_t buffer_bytes =
+      shift +
       static_cast<std::uint64_t>(config.type->extent()) *
           (config.count - 1) +
-      static_cast<std::uint64_t>(config.type->ub()) + 64;
+      static_cast<std::uint64_t>(hi) + 64;
   const std::uint64_t npkt =
       p4::packet_count(msg_bytes, config.cost.pkt_payload);
 
   ReceiveRun run;
+  run.buffer_shift = static_cast<std::int64_t>(shift);
   ReceiveResult& res = run.result;
   res.strategy = config.strategy;
   res.message_bytes = msg_bytes;
@@ -66,7 +76,7 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
               static_cast<double>(npkt);
 
   // The packed message (what the sender's pack/streaming produced).
-  const auto packed = packed_pattern(msg_bytes, config.seed);
+  const auto packed = packed_message_pattern(msg_bytes, config.seed);
 
   // Host-unpack baseline keeps a bounce buffer next to the receive
   // buffer: [0, buffer) receive area, [buffer, buffer+msg) bounce.
@@ -91,7 +101,7 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   std::unique_ptr<IovecPlan> iovec;
   p4::MatchEntry me;
   me.match_bits = 0x5197;
-  me.buffer_offset = 0;
+  me.buffer_offset = static_cast<std::int64_t>(shift);
   me.length = buffer_bytes;
 
   switch (config.strategy) {
@@ -241,8 +251,10 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
     res.host_traffic_bytes = est.traffic_bytes;
     if (config.verify) {
       // The bounce buffer must hold the packed stream; unpack it
-      // functionally to mirror what the CPU would produce.
+      // functionally to mirror what the CPU would produce. (A 0-byte
+      // message has no bounce data — and packed.data() may be null.)
       res.verified =
+          msg_bytes == 0 ||
           std::memcmp(host.memory().data() + buffer_bytes, packed.data(),
                       msg_bytes) == 0;
     }
@@ -252,16 +264,21 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
     if (config.verify) {
       std::vector<std::byte> reference(buffer_bytes, std::byte{0});
       ddt::unpack(packed.data(), *config.type, config.count,
-                  reference.data());
+                  reference.data() + shift);
       res.verified = true;
       for (const auto& r : regions) {
-        if (std::memcmp(host.memory().data() + r.offset,
-                        reference.data() + r.offset, r.size) != 0) {
+        const auto at = static_cast<std::int64_t>(shift) + r.offset;
+        if (std::memcmp(host.memory().data() + at, reference.data() + at,
+                        r.size) != 0) {
           res.verified = false;
           break;
         }
       }
     }
+  }
+  if (config.keep_buffer) {
+    const std::byte* base = host.memory().data();
+    run.buffer.assign(base, base + buffer_bytes);
   }
   return run;
 }

@@ -42,6 +42,14 @@ struct ReceiveConfig {
   /// `faults` is active.
   p4::RetransmitConfig retransmit{};
   bool verify = true;
+  /// Force the src/sim/check invariant checker on for this run (same
+  /// effect as SPIN_CHECK=1 but scoped to the calling thread, so
+  /// parallel sweeps can mix validated and plain runs).
+  bool validate = false;
+  /// Copy the final receive buffer into ReceiveRun::buffer so callers
+  /// (the differential fuzz oracle) can compare whole buffers across
+  /// strategies, not just the typed regions.
+  bool keep_buffer = false;
   /// Event/stats tracing (zero-cost when left default-disabled).
   /// `trace.events` also records the Fig 15 DMA queue-depth trace.
   sim::trace::TraceConfig trace{};
@@ -58,8 +66,22 @@ struct ReceiveRun {
   /// event timeline and the per-stage latency histograms; export with
   /// sim/trace/chrome.hpp.
   std::unique_ptr<sim::trace::Tracer> tracer;
+  /// Final receive buffer when `config.keep_buffer` (host bounce area
+  /// excluded). Byte 0 is the lowest addressable byte of the layout;
+  /// a type region at offset `off` lives at `buffer_shift + off`.
+  std::vector<std::byte> buffer;
+  /// Bytes the receive window was shifted so negative-lb layouts stay
+  /// inside the buffer (= max(0, -min(lb, true_lb))).
+  std::int64_t buffer_shift = 0;
 };
 
 ReceiveRun run_receive(const ReceiveConfig& config);
+
+/// The deterministic packed stream run_receive sends (a pure function of
+/// length and `ReceiveConfig::seed`). Exposed so differential oracles can
+/// compute the expected receive buffer with ddt::unpack and compare it
+/// against ReceiveRun::buffer.
+std::vector<std::byte> packed_message_pattern(std::uint64_t bytes,
+                                              std::uint64_t seed);
 
 }  // namespace netddt::offload

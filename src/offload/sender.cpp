@@ -23,7 +23,7 @@ std::string_view send_strategy_name(SendStrategy s) {
 }
 
 SendResult run_send(const SendConfig& config) {
-  assert(config.type && config.type->size() > 0 && config.type->lb() >= 0);
+  assert(config.type && config.count > 0);
   const spin::CostModel& c = config.cost;
   const std::uint64_t msg = config.type->size() * config.count;
   const auto regions = config.type->flatten(config.count);
@@ -33,24 +33,33 @@ SendResult run_send(const SendConfig& config) {
   res.message_bytes = msg;
 
   // Source buffer with a recognizable pattern laid out per the type
-  // (sized off ub: with lb > 0 the last instance reaches past
-  // count*extent).
+  // (sized off the upper bound: with lb > 0 the last instance reaches
+  // past count*extent). Negative lb puts bytes below offset 0; shift the
+  // whole layout up so it stays inside the buffer.
+  const std::int64_t lo = std::min(
+      {std::int64_t{0}, config.type->lb(), config.type->true_lb()});
+  const std::int64_t hi = std::max(
+      {std::int64_t{0}, config.type->ub(), config.type->true_ub()});
+  const std::uint64_t shift = static_cast<std::uint64_t>(-lo);
   const std::uint64_t src_bytes =
+      shift +
       static_cast<std::uint64_t>(config.type->extent()) *
           (config.count - 1) +
-      static_cast<std::uint64_t>(config.type->ub()) + 64;
+      static_cast<std::uint64_t>(hi) + 64;
   std::vector<std::byte> source(src_bytes, std::byte{0});
   {
     std::uint64_t stream = 0;
     for (const auto& r : regions) {
       for (std::uint64_t b = 0; b < r.size; ++b, ++stream) {
-        source[static_cast<std::size_t>(r.offset) + b] =
-            static_cast<std::byte>((stream * 131 + 7) & 0xFF);
+        source[static_cast<std::size_t>(
+                   static_cast<std::int64_t>(shift) + r.offset) +
+               b] = static_cast<std::byte>((stream * 131 + 7) & 0xFF);
       }
     }
   }
   std::vector<std::byte> expected(msg);
-  ddt::pack(source.data(), *config.type, config.count, expected.data());
+  ddt::pack(source.data() + shift, *config.type, config.count,
+            expected.data());
 
   sim::Engine engine;
   spin::Host host(msg + 64);
@@ -82,6 +91,14 @@ SendResult run_send(const SendConfig& config) {
       // discovery only reads descriptors — no data copy.
       sim::Time cpu = 0;
       std::uint64_t stream = 0;
+      if (regions.empty()) {
+        // Zero-size type: nothing to walk, but the put must still close
+        // with its single empty packet.
+        for (auto& pkt : sput.stream({}, true)) {
+          packets.push_back(pkt);
+          ready.push_back(cpu);
+        }
+      }
       for (std::size_t i = 0; i < regions.size(); ++i) {
         cpu += c.host_block_overhead * 4;  // find region + issue call
         const auto& r = regions[i];
@@ -114,7 +131,7 @@ SendResult run_send(const SendConfig& config) {
 
       outbound->process_put(
           1, me.match_bits, msg, spin::SchedulingPolicy::Default(),
-          [&c, &source, &regions, prefix = std::move(prefix)](
+          [&c, &source, &regions, shift, prefix = std::move(prefix)](
               const p4::Packet& pkt, std::byte* staging,
               spin::ChargeMeter& meter) {
             meter.charge(spin::Phase::kInit,
@@ -134,7 +151,7 @@ SendResult run_send(const SendConfig& config) {
               meter.charge(spin::Phase::kProcessing,
                            c.h_block + c.h_dma_issue);
               std::memcpy(staging + (pos - first),
-                          source.data() + r.offset +
+                          source.data() + shift + r.offset +
                               static_cast<std::ptrdiff_t>(rem),
                           take);
               pos += take;
@@ -163,8 +180,10 @@ SendResult run_send(const SendConfig& config) {
                               msg, c.pkt_payload));
   }
   if (config.verify) {
-    res.verified = std::memcmp(host.memory().data(), expected.data(), msg) ==
-                   0;
+    // expected.data() may be null for a 0-byte message.
+    res.verified =
+        msg == 0 ||
+        std::memcmp(host.memory().data(), expected.data(), msg) == 0;
   }
   return res;
 }

@@ -83,6 +83,13 @@ std::vector<Packet> StreamingPut::stream(std::span<const std::byte> chunk,
   if (end_of_message) {
     assert(staged_ == total_ && "end of message before all bytes staged");
     finished_ = true;
+    if (total_ == 0) {
+      // A 0-byte put still needs its single header+completion packet so
+      // the receiver can match the entry and complete the message. The
+      // emit loop below never runs (emitted_ == staged_ == 0), and
+      // stream() cannot be called again once finished.
+      return packetize_empty(msg_id_, match_bits_);
+    }
   }
 
   std::vector<Packet> out;

@@ -1,0 +1,123 @@
+#pragma once
+// Opt-in runtime invariant checking for the simulation pipeline.
+//
+// The hot paths (dataloop walks, segment catch-up, NIC packet dispatch)
+// guard their invariants with plain assert(), which compiles out under
+// -DNDEBUG: a release build that violates one silently corrupts the
+// receive buffer instead of failing. NETDDT_CHECK keeps those invariants
+// compiled in but gated behind a runtime flag, so the differential
+// fuzzer (tests/fuzz) and CI soak runs can turn a silent corruption into
+// a diagnosable error that names the message, packet and stream offset
+// involved.
+//
+// Enabling: set SPIN_CHECK=1 in the environment (process-wide), or set
+// ReceiveConfig::validate, which scopes checking to one run on the
+// calling thread (safe under the --jobs executor: the flag is
+// thread-local). When disabled the only cost per check is one untaken
+// branch on a thread-local flag — no metrics are touched and no
+// allocation happens, so deterministic output (tables, --json reports)
+// is byte-identical to a build without the checker.
+//
+// Failure model: a violated check throws check::Violation carrying the
+// formatted expression, source location, and the current Context (msg
+// id / packet index / segment stream offset, installed by the NIC
+// dispatch path and the offload handlers). Tests and the fuzzer catch
+// it; uncaught it terminates with a readable what().
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace netddt::sim::check {
+
+namespace detail {
+// SPIN_CHECK environment switch (read once, cached). Out of line so the
+// header never touches getenv.
+bool env_enabled();
+
+// Per-thread on/off flag, seeded from SPIN_CHECK on first use. A
+// function-local thread_local (not a namespace-scope extern one): every
+// TU then emits its own correct TLS access, which sidesteps the GCC
+// TLS-wrapper codegen that UBSan flags as a null load on threads other
+// than the one that first initialized the variable.
+inline int& state() {
+  thread_local int s = env_enabled() ? 1 : 0;
+  return s;
+}
+}  // namespace detail
+
+/// True when invariant checks are live on this thread.
+inline bool enabled() { return detail::state() != 0; }
+
+/// Force checking on/off for the current thread (ReceiveConfig.validate).
+void set_thread_enabled(bool on);
+/// Back to inheriting SPIN_CHECK.
+void clear_thread_override();
+
+/// RAII thread-local enable, restoring the previous state.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true);
+  ~ScopedEnable();
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// What the pipeline was doing when a check fired. Installed by the
+/// layers that know (NIC dispatch sets msg/packet, segment walks set the
+/// stream offset); -1 means "not in such a scope".
+struct Context {
+  std::int64_t msg_id = -1;
+  std::int64_t pkt_index = -1;
+  std::int64_t stream_offset = -1;
+};
+
+/// The current thread's context (mutable; cheap POD).
+inline Context& context() {
+  thread_local Context ctx{};
+  return ctx;
+}
+
+/// RAII context patch: overwrites the given fields, restores on exit.
+/// Constructing one is a few stores — callers still gate on enabled()
+/// when they sit on a per-packet path.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const Context& ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Context saved_;
+};
+
+/// Thrown by a failed NETDDT_CHECK.
+class Violation : public std::runtime_error {
+ public:
+  Violation(std::string what, Context ctx)
+      : std::runtime_error(std::move(what)), ctx_(ctx) {}
+  const Context& ctx() const { return ctx_; }
+
+ private:
+  Context ctx_;
+};
+
+/// Assemble the message and throw Violation. `detail` may be empty.
+[[noreturn]] void fail(const char* expr, const char* file, int line,
+                       const std::string& detail);
+
+}  // namespace netddt::sim::check
+
+/// Checked invariant: no-op unless check::enabled(); throws
+/// check::Violation (with `detail`, which is only evaluated on failure)
+/// when the condition is false.
+#define NETDDT_CHECK(cond, detail)                                        \
+  do {                                                                    \
+    if (::netddt::sim::check::enabled() && !(cond)) [[unlikely]] {        \
+      ::netddt::sim::check::fail(#cond, __FILE__, __LINE__, (detail));    \
+    }                                                                     \
+  } while (0)

@@ -1,6 +1,9 @@
 #include "spin/nic.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "sim/check.hpp"
 
 namespace netddt::spin {
 
@@ -49,6 +52,10 @@ const NicModel::MsgInfo* NicModel::info(std::uint64_t msg_id) const {
 }
 
 void NicModel::deliver(const p4::Packet& pkt) {
+  // Name the packet in any invariant failure below this frame.
+  sim::check::ScopedContext cctx(sim::check::Context{
+      static_cast<std::int64_t>(pkt.msg_id),
+      static_cast<std::int64_t>(pkt.offset / cost_.pkt_payload), -1});
   pkts_delivered_->add(1);
   if (tracer_ != nullptr && tracer_->events_on()) {
     tracer_->instant(
@@ -181,6 +188,14 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
           st.ctx->label, static_cast<std::int64_t>(pkt_index),
           [this, &st, pkt_copy, run_header, run_payload](sim::Time start)
               -> sim::Time {
+            // Handlers run functionally on the scheduler's stack, after
+            // deliver() returned: re-install the packet identity so
+            // segment/dataloop checks can name it.
+            sim::check::ScopedContext cctx(sim::check::Context{
+                static_cast<std::int64_t>(pkt_copy.msg_id),
+                static_cast<std::int64_t>(pkt_copy.offset /
+                                          cost_.pkt_payload),
+                -1});
             ChargeMeter meter;
             DmaIssuer issuer([this, &meter, &pkt_copy, start](
                                  sim::Time issue_offset,
@@ -210,9 +225,19 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
             const std::uint32_t staged = pkt_copy.payload_bytes;
             engine_->schedule(runtime, [this, &st, staged, run_header] {
               assert(st.outstanding > 0);
+              NETDDT_CHECK(st.outstanding > 0,
+                           "handler completed for msg " +
+                               std::to_string(st.msg_id) +
+                               " with no handlers outstanding");
               --st.outstanding;
               assert(pkt_buffer_->value() >=
                      static_cast<std::int64_t>(staged));
+              NETDDT_CHECK(pkt_buffer_->value() >=
+                               static_cast<std::int64_t>(staged),
+                           "packet-buffer accounting went negative "
+                           "releasing " +
+                               std::to_string(staged) + " bytes for msg " +
+                               std::to_string(st.msg_id));
               pkt_buffer_->sub(staged);
               if (run_header && !st.header_done) {
                 // The header handler finished: release deferred packets.

@@ -8,7 +8,6 @@ void OutboundEngine::process_put(std::uint64_t msg_id,
                                  std::uint64_t match_bits,
                                  std::uint64_t total_bytes,
                                  SchedulingPolicy policy, GatherFn gather) {
-  assert(total_bytes > 0);
   puts_.push_back(std::make_unique<Put>());
   Put& put = *puts_.back();
   put.gather = std::move(gather);

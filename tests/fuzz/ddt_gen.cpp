@@ -1,0 +1,667 @@
+#include "fuzz/ddt_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+#include "ddt/darray.hpp"
+#include "p4/packet.hpp"
+
+namespace netddt::fuzz {
+
+namespace {
+
+// Inverse of the block permutation: inv[rank] = list index.
+std::vector<std::uint32_t> invert(const std::vector<std::uint32_t>& order) {
+  std::vector<std::uint32_t> inv(order.size());
+  for (std::uint32_t j = 0; j < order.size(); ++j) inv[order[j]] = j;
+  return inv;
+}
+
+std::int64_t product(const std::vector<std::int64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::int64_t{1},
+                         std::multiplies<>());
+}
+
+}  // namespace
+
+ddt::TypePtr build(const Spec& s) {
+  using D = ddt::Datatype;
+  ddt::TypePtr t;
+  switch (s.kind) {
+    case NodeKind::kElem:
+      t = D::elementary(static_cast<std::uint64_t>(s.elem_size),
+                        "fuzz" + std::to_string(s.elem_size));
+      break;
+
+    case NodeKind::kContig:
+      t = D::contiguous(s.count, build(s.children.at(0)));
+      break;
+
+    case NodeKind::kVector:
+      t = D::vector(s.count, s.blocklen, s.blocklen + s.gap,
+                    build(s.children.at(0)));
+      break;
+
+    case NodeKind::kHvector: {
+      auto c = build(s.children.at(0));
+      t = D::hvector(s.count, s.blocklen, s.blocklen * c->extent() + s.gap,
+                     c);
+      break;
+    }
+
+    case NodeKind::kIndexedBlock: {
+      auto c = build(s.children.at(0));
+      const auto inv = invert(s.order);
+      // Lay blocks out along a cursor (extent units) in rank order, then
+      // report displacements in (shuffled) list order.
+      std::vector<std::int64_t> displs(s.order.size());
+      std::int64_t cursor = 0;
+      for (std::uint32_t r = 0; r < inv.size(); ++r) {
+        cursor += s.gaps.at(r);
+        displs[inv[r]] = cursor;
+        cursor += s.blocklen;
+      }
+      t = D::indexed_block(s.blocklen, displs, c);
+      break;
+    }
+
+    case NodeKind::kIndexed: {
+      auto c = build(s.children.at(0));
+      const auto inv = invert(s.order);
+      std::vector<std::int64_t> displs(s.order.size());
+      std::int64_t cursor = 0;
+      for (std::uint32_t r = 0; r < inv.size(); ++r) {
+        const std::uint32_t j = inv[r];
+        cursor += s.gaps.at(r);
+        displs[j] = cursor;
+        cursor += s.blocklens.at(j);
+      }
+      t = D::indexed(s.blocklens, displs, c);
+      break;
+    }
+
+    case NodeKind::kHindexed: {
+      auto c = build(s.children.at(0));
+      const auto inv = invert(s.order);
+      std::vector<std::int64_t> displs(s.order.size());
+      std::int64_t cursor = 0;  // bytes
+      for (std::uint32_t r = 0; r < inv.size(); ++r) {
+        const std::uint32_t j = inv[r];
+        cursor += s.gaps.at(r);
+        // Block j's data starts at cursor: its first instance occupies
+        // [d + lb, ...), so place d = cursor - lb.
+        displs[j] = cursor - c->lb();
+        cursor += s.blocklens.at(j) * c->extent();
+      }
+      t = D::hindexed(s.blocklens, displs, c);
+      break;
+    }
+
+    case NodeKind::kStruct: {
+      std::vector<ddt::TypePtr> types;
+      types.reserve(s.children.size());
+      for (const Spec& child : s.children) types.push_back(build(child));
+      const auto inv = invert(s.order);
+      std::vector<std::int64_t> displs(s.order.size());
+      std::int64_t cursor = 0;  // bytes
+      for (std::uint32_t r = 0; r < inv.size(); ++r) {
+        const std::uint32_t j = inv[r];
+        cursor += s.gaps.at(r);
+        displs[j] = cursor - types[j]->lb();
+        cursor += s.blocklens.at(j) * types[j]->extent();
+      }
+      t = D::struct_type(s.blocklens, displs, types);
+      break;
+    }
+
+    case NodeKind::kSubarray:
+      t = D::subarray(s.sizes, s.subsizes, s.starts,
+                      build(s.children.at(0)));
+      break;
+
+    case NodeKind::kDarray: {
+      std::vector<ddt::Distribution> distribs;
+      distribs.reserve(s.distribs.size());
+      for (std::uint8_t d : s.distribs) {
+        distribs.push_back(static_cast<ddt::Distribution>(d));
+      }
+      t = ddt::darray(s.darray_rank, s.gsizes, distribs, s.dargs, s.psizes,
+                      build(s.children.at(0)));
+      break;
+    }
+  }
+  if (s.resized) {
+    const std::int64_t lb = t->true_lb() - s.lb_pad;
+    const std::int64_t extent = (t->true_ub() - lb) + s.extent_pad;
+    t = D::resized(t, lb, extent);
+  }
+  return t;
+}
+
+namespace {
+
+std::vector<std::uint32_t> random_order(sim::Rng& rng, std::size_t n) {
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = n; i > 1; --i) {  // Fisher-Yates
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  return order;
+}
+
+std::int64_t gen_count(sim::Rng& rng) {
+  return rng.chance(0.08) ? 0 : 1 + static_cast<std::int64_t>(rng.below(5));
+}
+
+std::int64_t gen_blocklen(sim::Rng& rng) {
+  return rng.chance(0.08) ? 0 : 1 + static_cast<std::int64_t>(rng.below(3));
+}
+
+void maybe_resize(sim::Rng& rng, Spec& s) {
+  if (!rng.chance(0.25)) return;
+  s.resized = true;
+  // lb_pad often exceeds true_lb, which drives lb negative — the
+  // resized/negative-lb paths the oracle must exercise.
+  s.lb_pad = static_cast<std::int64_t>(rng.below(12));
+  s.extent_pad = static_cast<std::int64_t>(rng.below(12));
+}
+
+}  // namespace
+
+Spec generate_spec(sim::Rng& rng, int depth) {
+  Spec s;
+  if (depth <= 0) {
+    s.kind = NodeKind::kElem;
+    s.elem_size = std::int64_t{1} << rng.below(4);  // 1/2/4/8
+    maybe_resize(rng, s);
+    return s;
+  }
+
+  // Weighted constructor choice; leaves stay possible at any depth.
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 12) {
+    s.kind = NodeKind::kElem;
+    s.elem_size = std::int64_t{1} << rng.below(4);
+  } else if (roll < 24) {
+    s.kind = NodeKind::kContig;
+    s.count = gen_count(rng);
+    s.children.push_back(generate_spec(rng, depth - 1));
+  } else if (roll < 38) {
+    s.kind = NodeKind::kVector;
+    s.count = gen_count(rng);
+    s.blocklen = gen_blocklen(rng);
+    s.gap = static_cast<std::int64_t>(rng.below(3));
+    s.children.push_back(generate_spec(rng, depth - 1));
+  } else if (roll < 48) {
+    s.kind = NodeKind::kHvector;
+    s.count = gen_count(rng);
+    s.blocklen = gen_blocklen(rng);
+    s.gap = static_cast<std::int64_t>(rng.below(9));  // byte gap
+    s.children.push_back(generate_spec(rng, depth - 1));
+  } else if (roll < 58) {
+    s.kind = NodeKind::kIndexedBlock;
+    const std::size_t n = 1 + rng.below(4);
+    s.blocklen = gen_blocklen(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.gaps.push_back(static_cast<std::int64_t>(rng.below(3)));
+    }
+    s.order = random_order(rng, n);
+    s.children.push_back(generate_spec(rng, depth - 1));
+  } else if (roll < 70) {
+    s.kind = NodeKind::kIndexed;
+    const std::size_t n = 1 + rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.blocklens.push_back(gen_blocklen(rng));
+      s.gaps.push_back(static_cast<std::int64_t>(rng.below(3)));
+    }
+    s.order = random_order(rng, n);
+    s.children.push_back(generate_spec(rng, depth - 1));
+  } else if (roll < 78) {
+    s.kind = NodeKind::kHindexed;
+    const std::size_t n = 1 + rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.blocklens.push_back(gen_blocklen(rng));
+      s.gaps.push_back(static_cast<std::int64_t>(rng.below(9)));
+    }
+    s.order = random_order(rng, n);
+    s.children.push_back(generate_spec(rng, depth - 1));
+  } else if (roll < 88) {
+    s.kind = NodeKind::kStruct;
+    const std::size_t n = 1 + rng.below(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.blocklens.push_back(gen_blocklen(rng));
+      s.gaps.push_back(static_cast<std::int64_t>(rng.below(9)));
+      s.children.push_back(generate_spec(rng, depth - 1));
+    }
+    s.order = random_order(rng, n);
+  } else if (roll < 95) {
+    s.kind = NodeKind::kSubarray;
+    for (int d = 0; d < 2; ++d) {
+      const std::int64_t size = 2 + static_cast<std::int64_t>(rng.below(5));
+      const std::int64_t sub =
+          rng.chance(0.08) ? 0
+                           : 1 + static_cast<std::int64_t>(rng.below(
+                                     static_cast<std::uint64_t>(size)));
+      s.sizes.push_back(size);
+      s.subsizes.push_back(sub);
+      s.starts.push_back(static_cast<std::int64_t>(
+          rng.below(static_cast<std::uint64_t>(size - sub + 1))));
+    }
+    Spec base;
+    base.kind = NodeKind::kElem;
+    base.elem_size = std::int64_t{1} << rng.below(4);
+    s.children.push_back(base);
+  } else {
+    s.kind = NodeKind::kDarray;
+    const std::size_t ndims = 1 + rng.below(2);
+    for (std::size_t d = 0; d < ndims; ++d) {
+      s.gsizes.push_back(2 + static_cast<std::int64_t>(rng.below(7)));
+      const std::uint64_t dist = rng.below(3);
+      if (dist == 0) {
+        s.distribs.push_back(static_cast<std::uint8_t>(
+            ddt::Distribution::kNone));
+        s.psizes.push_back(1);
+        s.dargs.push_back(ddt::kDefaultDarg);
+      } else if (dist == 1) {
+        s.distribs.push_back(static_cast<std::uint8_t>(
+            ddt::Distribution::kBlock));
+        s.psizes.push_back(1 + static_cast<std::int64_t>(rng.below(3)));
+        s.dargs.push_back(ddt::kDefaultDarg);
+      } else {
+        s.distribs.push_back(static_cast<std::uint8_t>(
+            ddt::Distribution::kCyclic));
+        s.psizes.push_back(1 + static_cast<std::int64_t>(rng.below(3)));
+        s.dargs.push_back(rng.chance(0.5)
+                              ? ddt::kDefaultDarg
+                              : 1 + static_cast<std::int64_t>(rng.below(2)));
+      }
+    }
+    s.darray_rank = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(product(s.psizes))));
+    Spec base;
+    base.kind = NodeKind::kElem;
+    base.elem_size = std::int64_t{1} << rng.below(4);
+    s.children.push_back(base);
+  }
+  maybe_resize(rng, s);
+  return s;
+}
+
+FuzzCase generate(std::uint64_t seed) {
+  sim::Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  FuzzCase fc;
+  fc.seed = seed;
+  fc.count = 1 + rng.below(3);
+  constexpr std::uint32_t kPayloads[] = {13, 29, 64, 256, 1024};
+  fc.pkt_payload = kPayloads[rng.below(5)];
+  fc.lossy = rng.chance(0.5);
+  if (fc.lossy) {
+    fc.drop_rate = rng.uniform() * 0.25;
+    fc.dup_rate = rng.uniform() * 0.2;
+    fc.reorder_rate = rng.uniform() * 0.3;
+    fc.reorder_window = 1 + static_cast<std::uint32_t>(rng.below(6));
+  }
+  // Bound the simulation: retry until the message packetizes into a
+  // manageable count (rng state advances, so this stays deterministic).
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int depth = 1 + static_cast<int>(rng.below(3));
+    fc.spec = generate_spec(rng, depth);
+    const auto type = build(fc.spec);
+    const std::uint64_t npkt =
+        p4::packet_count(type->size() * fc.count, fc.pkt_payload);
+    if (npkt <= 1200) return fc;
+  }
+  // Give up on a small case: fall back to a depth-1 spec.
+  fc.spec = generate_spec(rng, 1);
+  return fc;
+}
+
+std::uint64_t measure(const Spec& s) {
+  // Only fields the node's kind actually reads count: edits to dead
+  // fields must not look like progress to the shrinker.
+  std::uint64_t m = 1;
+  if (s.kind == NodeKind::kElem) {
+    m += static_cast<std::uint64_t>(s.elem_size);
+  }
+  if (s.kind == NodeKind::kContig || s.kind == NodeKind::kVector ||
+      s.kind == NodeKind::kHvector) {
+    m += static_cast<std::uint64_t>(s.count);
+  }
+  if (s.kind == NodeKind::kVector || s.kind == NodeKind::kHvector ||
+      s.kind == NodeKind::kIndexedBlock) {
+    m += static_cast<std::uint64_t>(s.blocklen);
+  }
+  if (s.kind == NodeKind::kVector || s.kind == NodeKind::kHvector) {
+    m += static_cast<std::uint64_t>(s.gap);
+  }
+  m += s.blocklens.size();
+  for (std::int64_t b : s.blocklens) m += static_cast<std::uint64_t>(b);
+  for (std::int64_t g : s.gaps) m += static_cast<std::uint64_t>(g);
+  for (std::int64_t v : s.sizes) m += static_cast<std::uint64_t>(v);
+  for (std::int64_t v : s.subsizes) m += static_cast<std::uint64_t>(v);
+  for (std::int64_t v : s.starts) m += static_cast<std::uint64_t>(v);
+  for (std::int64_t v : s.gsizes) m += static_cast<std::uint64_t>(v);
+  for (std::int64_t v : s.psizes) m += static_cast<std::uint64_t>(v);
+  for (std::int64_t v : s.dargs) {
+    m += static_cast<std::uint64_t>(std::max<std::int64_t>(v, 0));
+  }
+  m += static_cast<std::uint64_t>(s.darray_rank);
+  if (s.resized) {
+    m += 1 + static_cast<std::uint64_t>(s.lb_pad + s.extent_pad);
+  }
+  for (const Spec& c : s.children) m += measure(c);
+  return m;
+}
+
+std::uint64_t measure(const FuzzCase& fc) {
+  return measure(fc.spec) + fc.count + (fc.lossy ? 1 : 0);
+}
+
+namespace {
+
+// Remove block j from a blockwise node (blocklens/gaps/order and, for
+// structs, the member child), keeping `order` a valid permutation.
+void erase_block(Spec& s, std::size_t j) {
+  const std::uint32_t rank = s.order[j];
+  s.order.erase(s.order.begin() + static_cast<std::ptrdiff_t>(j));
+  for (std::uint32_t& r : s.order) {
+    if (r > rank) --r;
+  }
+  if (j < s.blocklens.size()) {
+    s.blocklens.erase(s.blocklens.begin() +
+                      static_cast<std::ptrdiff_t>(j));
+  }
+  // Gaps are indexed by rank, not list position.
+  if (rank < s.gaps.size()) {
+    s.gaps.erase(s.gaps.begin() + static_cast<std::ptrdiff_t>(rank));
+  }
+  if (s.kind == NodeKind::kStruct && j < s.children.size()) {
+    s.children.erase(s.children.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+}
+
+// Restore cross-field invariants after a raw edit.
+void sanitize(Spec& s) {
+  if (s.kind == NodeKind::kSubarray) {
+    for (std::size_t d = 0; d < s.sizes.size(); ++d) {
+      s.sizes[d] = std::max<std::int64_t>(s.sizes[d], 1);
+      s.subsizes[d] = std::clamp<std::int64_t>(s.subsizes[d], 0,
+                                               s.sizes[d]);
+      s.starts[d] = std::clamp<std::int64_t>(s.starts[d], 0,
+                                             s.sizes[d] - s.subsizes[d]);
+    }
+  }
+  if (s.kind == NodeKind::kDarray) {
+    for (std::size_t d = 0; d < s.gsizes.size(); ++d) {
+      s.gsizes[d] = std::max<std::int64_t>(s.gsizes[d], 1);
+      s.psizes[d] = std::max<std::int64_t>(s.psizes[d], 1);
+      if (static_cast<ddt::Distribution>(s.distribs[d]) ==
+              ddt::Distribution::kNone ||
+          s.psizes[d] == 1) {
+        // kNone requires psize 1; and any distribution degenerates to it.
+        s.psizes[d] = 1;
+      }
+      if (s.dargs[d] != ddt::kDefaultDarg) {
+        s.dargs[d] = std::max<std::int64_t>(s.dargs[d], 1);
+      }
+    }
+    s.darray_rank = std::clamp<std::int64_t>(s.darray_rank, 0,
+                                             product(s.psizes) - 1);
+  }
+}
+
+// All single-edit reductions of `s` (deeper edits included recursively).
+void spec_variants(const Spec& s, std::vector<Spec>& out) {
+  // Hoist a child subtree in place of the whole node.
+  for (const Spec& c : s.children) out.push_back(c);
+
+  if (s.resized) {
+    Spec t = s;
+    t.resized = false;
+    t.lb_pad = t.extent_pad = 0;
+    out.push_back(t);
+    if (s.lb_pad > 0) {
+      t = s;
+      t.lb_pad = 0;
+      out.push_back(t);
+      t = s;
+      --t.lb_pad;
+      out.push_back(t);
+    }
+    if (s.extent_pad > 0) {
+      t = s;
+      t.extent_pad = 0;
+      out.push_back(t);
+      t = s;
+      --t.extent_pad;
+      out.push_back(t);
+    }
+  }
+  if (s.elem_size > 1) {
+    Spec t = s;
+    t.elem_size /= 2;
+    out.push_back(t);
+  }
+  if (s.count > 0) {
+    Spec t = s;
+    --t.count;
+    out.push_back(t);
+    if (s.count > 1) {
+      t = s;
+      t.count = 1;
+      out.push_back(t);
+    }
+  }
+  if (s.blocklen > 0) {
+    Spec t = s;
+    --t.blocklen;
+    out.push_back(t);
+  }
+  if (s.gap > 0) {
+    Spec t = s;
+    t.gap = 0;
+    out.push_back(t);
+  }
+  for (std::size_t j = 0; j < s.order.size(); ++j) {
+    Spec t = s;
+    erase_block(t, j);
+    out.push_back(t);
+  }
+  for (std::size_t j = 0; j < s.blocklens.size(); ++j) {
+    if (s.blocklens[j] == 0) continue;
+    Spec t = s;
+    --t.blocklens[j];
+    out.push_back(t);
+  }
+  for (std::size_t j = 0; j < s.gaps.size(); ++j) {
+    if (s.gaps[j] == 0) continue;
+    Spec t = s;
+    t.gaps[j] = 0;
+    out.push_back(t);
+  }
+  for (std::size_t d = 0; d < s.subsizes.size(); ++d) {
+    if (s.subsizes[d] > 0) {
+      Spec t = s;
+      --t.subsizes[d];
+      out.push_back(t);
+    }
+    if (s.starts[d] > 0) {
+      Spec t = s;
+      t.starts[d] = 0;
+      out.push_back(t);
+    }
+    if (s.sizes[d] > 1) {
+      Spec t = s;
+      --t.sizes[d];
+      out.push_back(t);
+    }
+  }
+  for (std::size_t d = 0; d < s.gsizes.size(); ++d) {
+    if (s.gsizes[d] > 1) {
+      Spec t = s;
+      --t.gsizes[d];
+      out.push_back(t);
+    }
+    if (s.psizes[d] > 1) {
+      Spec t = s;
+      t.psizes[d] = 1;
+      out.push_back(t);
+    }
+    if (s.dargs[d] > 0) {
+      Spec t = s;
+      t.dargs[d] = ddt::kDefaultDarg;
+      out.push_back(t);
+    }
+  }
+  if (s.darray_rank > 0) {
+    Spec t = s;
+    t.darray_rank = 0;
+    out.push_back(t);
+  }
+  // Recurse: every reduction of child i is a reduction of s.
+  for (std::size_t i = 0; i < s.children.size(); ++i) {
+    std::vector<Spec> child_vars;
+    spec_variants(s.children[i], child_vars);
+    for (Spec& cv : child_vars) {
+      Spec t = s;
+      t.children[i] = std::move(cv);
+      out.push_back(t);
+    }
+  }
+  for (Spec& t : out) sanitize(t);
+}
+
+}  // namespace
+
+FuzzCase shrink(const FuzzCase& fc,
+                const std::function<bool(const FuzzCase&)>& still_fails) {
+  FuzzCase cur = fc;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<FuzzCase> candidates;
+    if (cur.lossy) {
+      FuzzCase t = cur;
+      t.lossy = false;
+      t.drop_rate = t.dup_rate = t.reorder_rate = 0.0;
+      candidates.push_back(t);
+    }
+    if (cur.count > 1) {
+      FuzzCase t = cur;
+      t.count = 1;
+      candidates.push_back(t);
+      t = cur;
+      --t.count;
+      candidates.push_back(t);
+    }
+    std::vector<Spec> vars;
+    spec_variants(cur.spec, vars);
+    for (Spec& v : vars) {
+      FuzzCase t = cur;
+      t.spec = std::move(v);
+      candidates.push_back(t);
+    }
+    const std::uint64_t m = measure(cur);
+    for (const FuzzCase& cand : candidates) {
+      if (measure(cand) >= m) continue;
+      if (!still_fails(cand)) continue;
+      cur = cand;
+      progress = true;
+      break;
+    }
+  }
+  return cur;
+}
+
+namespace {
+
+const char* kind_name(NodeKind k) {
+  switch (k) {
+    case NodeKind::kElem: return "elem";
+    case NodeKind::kContig: return "contig";
+    case NodeKind::kVector: return "vector";
+    case NodeKind::kHvector: return "hvector";
+    case NodeKind::kIndexedBlock: return "indexed_block";
+    case NodeKind::kIndexed: return "indexed";
+    case NodeKind::kHindexed: return "hindexed";
+    case NodeKind::kStruct: return "struct";
+    case NodeKind::kSubarray: return "subarray";
+    case NodeKind::kDarray: return "darray";
+  }
+  return "?";
+}
+
+void list(std::ostream& os, const char* name,
+          const std::vector<std::int64_t>& v) {
+  if (v.empty()) return;
+  os << ' ' << name << "=[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    os << (i ? "," : "") << v[i];
+  }
+  os << ']';
+}
+
+void print(std::ostream& os, const Spec& s) {
+  os << kind_name(s.kind) << '(';
+  if (s.kind == NodeKind::kElem) os << "size=" << s.elem_size;
+  if (s.count != 1) os << " count=" << s.count;
+  if (s.blocklen != 1) os << " bl=" << s.blocklen;
+  if (s.gap != 0) os << " gap=" << s.gap;
+  list(os, "bls", s.blocklens);
+  list(os, "gaps", s.gaps);
+  if (!s.order.empty()) {
+    os << " order=[";
+    for (std::size_t i = 0; i < s.order.size(); ++i) {
+      os << (i ? "," : "") << s.order[i];
+    }
+    os << ']';
+  }
+  list(os, "sizes", s.sizes);
+  list(os, "subsizes", s.subsizes);
+  list(os, "starts", s.starts);
+  list(os, "gsizes", s.gsizes);
+  list(os, "psizes", s.psizes);
+  list(os, "dargs", s.dargs);
+  if (s.kind == NodeKind::kDarray) {
+    os << " rank=" << s.darray_rank << " distribs=[";
+    for (std::size_t i = 0; i < s.distribs.size(); ++i) {
+      os << (i ? "," : "") << static_cast<int>(s.distribs[i]);
+    }
+    os << ']';
+  }
+  for (const Spec& c : s.children) {
+    os << ' ';
+    print(os, c);
+  }
+  os << ')';
+  if (s.resized) {
+    os << ".resized(lb_pad=" << s.lb_pad << ",extent_pad=" << s.extent_pad
+       << ')';
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Spec& spec) {
+  std::ostringstream os;
+  print(os, spec);
+  return os.str();
+}
+
+std::string to_string(const FuzzCase& fc) {
+  std::ostringstream os;
+  os << "seed=" << fc.seed << " count=" << fc.count
+     << " payload=" << fc.pkt_payload;
+  if (fc.lossy) {
+    os << " lossy(drop=" << fc.drop_rate << ",dup=" << fc.dup_rate
+       << ",reorder=" << fc.reorder_rate << ",window=" << fc.reorder_window
+       << ')';
+  }
+  os << ' ';
+  print(os, fc.spec);
+  return os.str();
+}
+
+}  // namespace netddt::fuzz

@@ -1,0 +1,125 @@
+#pragma once
+// Seeded random generator + greedy shrinker over the full datatype
+// constructor grammar, for the differential fuzz oracle (tests/fuzz).
+//
+// A Spec is a portable mirror of one datatype construction: building it
+// (build()) calls the real ddt::Datatype factories. Generation keeps one
+// invariant the oracle depends on: *distinct placements never overlap*.
+// Overlapping regions make the final buffer depend on packet arrival
+// order, which is legitimate MPI but unusable as a differential oracle
+// (every strategy would be "right" with different bytes). The generator
+// guarantees disjointness structurally:
+//
+//  - every generated node satisfies lb <= true_lb <= true_ub <= ub, so
+//    tiling instances at extent() pitch cannot overlap;
+//  - sibling placements (vector strides, indexed/struct displacements)
+//    are laid out by a moving cursor with non-negative gaps, then
+//    shuffled so list order != address order.
+//
+// Zero counts, zero blocklens, zero-size-nonzero-extent types and
+// negative lb (via the resized modifier, lb = true_lb - lb_pad) are all
+// in-grammar.
+//
+// The shrinker (shrink()) greedily applies structure-reducing edits
+// while a predicate keeps failing; every accepted edit strictly reduces
+// measure(), so it terminates at a fixed point.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+#include "sim/rng.hpp"
+
+namespace netddt::fuzz {
+
+enum class NodeKind : std::uint8_t {
+  kElem,
+  kContig,
+  kVector,        // extent-unit stride
+  kHvector,       // byte stride
+  kIndexedBlock,  // extent-unit displacements, one blocklen
+  kIndexed,       // extent-unit displacements + per-block blocklens
+  kHindexed,      // byte displacements + per-block blocklens
+  kStruct,
+  kSubarray,  // 2-D, elementary base
+  kDarray,    // 1..2-D, elementary base
+};
+
+struct Spec {
+  NodeKind kind = NodeKind::kElem;
+
+  // kElem
+  std::int64_t elem_size = 4;  // 1, 2, 4 or 8
+
+  // kContig / kVector / kHvector
+  std::int64_t count = 1;     // may be 0 (zero-size type)
+  std::int64_t blocklen = 1;  // kVector/kHvector/kIndexedBlock; may be 0
+  std::int64_t gap = 0;       // inter-block gap: stride = blocklen + gap
+                              // (extent units) or bytes for kHvector
+
+  // kIndexed / kHindexed / kStruct: per-block lengths (may contain 0) and
+  // inter-block gaps; displacements are derived cursor placements,
+  // shuffled by `order`.
+  std::vector<std::int64_t> blocklens;
+  std::vector<std::int64_t> gaps;        // same length as blocklens
+  std::vector<std::uint32_t> order;      // permutation of blocks
+
+  // All kinds except kElem/kStruct: single child. kStruct: one child per
+  // member.
+  std::vector<Spec> children;
+
+  // kSubarray (2-D)
+  std::vector<std::int64_t> sizes, subsizes, starts;
+
+  // kDarray
+  std::int64_t darray_rank = 0;
+  std::vector<std::int64_t> gsizes, psizes, dargs;
+  std::vector<std::uint8_t> distribs;  // ddt::Distribution values
+
+  // Optional resized wrapper: lb = true_lb - lb_pad (negative lb when
+  // lb_pad > true_lb), extent = (true_ub - lb) + extent_pad. Both pads
+  // >= 0, so extent >= true span and tiling stays disjoint.
+  bool resized = false;
+  std::int64_t lb_pad = 0;
+  std::int64_t extent_pad = 0;
+};
+
+/// One complete fuzz case: the datatype, how it is received, and the
+/// fault schedule.
+struct FuzzCase {
+  std::uint64_t seed = 0;  // the generating seed (also the data pattern)
+  Spec spec;
+  std::uint64_t count = 1;          // receive count (instances)
+  std::uint32_t pkt_payload = 256;  // packet payload bytes
+  bool lossy = false;
+  double drop_rate = 0.0, dup_rate = 0.0, reorder_rate = 0.0;
+  std::uint32_t reorder_window = 4;
+};
+
+/// Materialize the spec through the real datatype factories.
+ddt::TypePtr build(const Spec& spec);
+
+/// Generate the case for `seed`. Deterministic and platform-stable.
+FuzzCase generate(std::uint64_t seed);
+
+/// Generate just a type spec (used by generate() and by tests).
+Spec generate_spec(sim::Rng& rng, int depth);
+
+/// Shrinker complexity measure: strictly decreases on every accepted
+/// shrink edit, so shrinking terminates at a fixed point.
+std::uint64_t measure(const Spec& spec);
+std::uint64_t measure(const FuzzCase& fc);
+
+/// Greedily minimize `fc` while `still_fails(candidate)` returns true.
+/// Returns the fixed point: no single edit both reduces measure() and
+/// keeps the predicate failing.
+FuzzCase shrink(const FuzzCase& fc,
+                const std::function<bool(const FuzzCase&)>& still_fails);
+
+/// Human-readable one-line form, printed in failure repros.
+std::string to_string(const Spec& spec);
+std::string to_string(const FuzzCase& fc);
+
+}  // namespace netddt::fuzz

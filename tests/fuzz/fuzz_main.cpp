@@ -1,0 +1,159 @@
+// Differential fuzz driver over the datatype grammar.
+//
+//   ddt_fuzz [--seeds N] [--seed-base B] [--jobs J] [--shrink]
+//            [--strategy NAME] [--verbose]
+//
+// Each seed expands deterministically into one fuzz case (datatype
+// spec, receive count, packet size, fault plan) and runs the
+// differential oracle (tests/fuzz/oracle.hpp). Output is printed in
+// seed order after all runs complete, so it is byte-identical across
+// --jobs levels. Exit status 0 iff every seed passed.
+//
+// On failure with --shrink, the case is greedily minimized (every
+// accepted edit strictly reduces the complexity measure, so shrinking
+// reaches a fixed point) and the minimized repro is printed.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/lib/parallel.hpp"
+#include "fuzz/ddt_gen.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace {
+
+using netddt::fuzz::FuzzCase;
+using netddt::fuzz::OracleOutcome;
+
+struct Options {
+  std::uint64_t seeds = 200;
+  std::uint64_t seed_base = 0;
+  unsigned jobs = 1;
+  bool shrink = false;
+  bool verbose = false;
+  std::vector<netddt::offload::StrategyKind> strategies =
+      netddt::fuzz::oracle_strategies();
+};
+
+bool parse_strategy(const char* name,
+                    std::vector<netddt::offload::StrategyKind>& out) {
+  using netddt::offload::StrategyKind;
+  static const struct {
+    const char* name;
+    StrategyKind kind;
+  } kTable[] = {
+      {"specialized", StrategyKind::kSpecialized},
+      {"hpu-local", StrategyKind::kHpuLocal},
+      {"ro-cp", StrategyKind::kRoCp},
+      {"rw-cp", StrategyKind::kRwCp},
+  };
+  for (const auto& entry : kTable) {
+    if (std::strcmp(name, entry.name) == 0) {
+      out = {entry.kind};
+      return true;
+    }
+  }
+  return false;
+}
+
+struct SeedReport {
+  std::uint64_t seed = 0;
+  OracleOutcome outcome;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      opt.seeds = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed-base") {
+      opt.seed_base = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--shrink") {
+      opt.shrink = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--strategy") {
+      if (!parse_strategy(value(), opt.strategies)) {
+        std::fprintf(stderr,
+                     "unknown strategy (use specialized, hpu-local, "
+                     "ro-cp or rw-cp)\n");
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: ddt_fuzz [--seeds N] [--seed-base B] [--jobs J] "
+          "[--shrink] [--strategy NAME] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  netddt::bench::parallel::Executor executor(opt.jobs);
+  netddt::bench::parallel::Sweep<SeedReport> sweep(
+      executor.serial() ? nullptr : &executor);
+  const auto& strategies = opt.strategies;
+  for (std::uint64_t i = 0; i < opt.seeds; ++i) {
+    const std::uint64_t seed = opt.seed_base + i;
+    sweep.submit([seed, &strategies]() -> SeedReport {
+      SeedReport report;
+      report.seed = seed;
+      const FuzzCase fc = netddt::fuzz::generate(seed);
+      report.outcome = netddt::fuzz::run_oracle(fc, strategies);
+      return report;
+    });
+  }
+  const auto reports = sweep.collect();
+
+  std::uint64_t failures = 0;
+  for (const SeedReport& report : reports) {
+    if (report.outcome.ok) {
+      if (opt.verbose) {
+        std::printf("seed %llu ok bytes=%llu pkts=%llu\n",
+                    static_cast<unsigned long long>(report.seed),
+                    static_cast<unsigned long long>(
+                        report.outcome.msg_bytes),
+                    static_cast<unsigned long long>(
+                        report.outcome.packets));
+      }
+      continue;
+    }
+    ++failures;
+    const FuzzCase fc = netddt::fuzz::generate(report.seed);
+    std::printf("seed %llu FAIL: %s\n",
+                static_cast<unsigned long long>(report.seed),
+                report.outcome.detail.c_str());
+    std::printf("  case: %s\n", netddt::fuzz::to_string(fc).c_str());
+    if (opt.shrink) {
+      const FuzzCase small = netddt::fuzz::shrink(
+          fc, [&strategies](const FuzzCase& cand) {
+            return !netddt::fuzz::run_oracle(cand, strategies).ok;
+          });
+      const auto outcome = netddt::fuzz::run_oracle(small, strategies);
+      std::printf("  shrunk: %s\n", netddt::fuzz::to_string(small).c_str());
+      std::printf("  shrunk failure: %s\n", outcome.detail.c_str());
+    }
+  }
+  std::printf("fuzz: %llu/%llu seeds passed (base %llu)\n",
+              static_cast<unsigned long long>(opt.seeds - failures),
+              static_cast<unsigned long long>(opt.seeds),
+              static_cast<unsigned long long>(opt.seed_base));
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,208 @@
+#include "fuzz/oracle.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "ddt/codec.hpp"
+#include "ddt/pack.hpp"
+#include "offload/runner.hpp"
+#include "p4/packet.hpp"
+
+namespace netddt::fuzz {
+
+std::vector<offload::StrategyKind> oracle_strategies() {
+  return {offload::StrategyKind::kSpecialized,
+          offload::StrategyKind::kHpuLocal, offload::StrategyKind::kRoCp,
+          offload::StrategyKind::kRwCp};
+}
+
+namespace {
+
+bool same_layout(const ddt::Datatype& a, const ddt::Datatype& b,
+                 std::string& why) {
+  if (a.size() != b.size() || a.lb() != b.lb() || a.ub() != b.ub() ||
+      a.true_lb() != b.true_lb() || a.true_ub() != b.true_ub()) {
+    std::ostringstream os;
+    os << "bounds differ: size " << a.size() << "/" << b.size() << " lb "
+       << a.lb() << "/" << b.lb() << " ub " << a.ub() << "/" << b.ub()
+       << " true_lb " << a.true_lb() << "/" << b.true_lb() << " true_ub "
+       << a.true_ub() << "/" << b.true_ub();
+    why = os.str();
+    return false;
+  }
+  const auto ra = a.flatten(1);
+  const auto rb = b.flatten(1);
+  if (ra.size() != rb.size()) {
+    why = "region counts differ: " + std::to_string(ra.size()) + " vs " +
+          std::to_string(rb.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].offset != rb[i].offset || ra[i].size != rb[i].size) {
+      std::ostringstream os;
+      os << "region " << i << " differs: (" << ra[i].offset << ", "
+         << ra[i].size << ") vs (" << rb[i].offset << ", " << rb[i].size
+         << ")";
+      why = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+OracleOutcome run_oracle(
+    const FuzzCase& fc,
+    const std::vector<offload::StrategyKind>& strategies) {
+  OracleOutcome out;
+  auto fail = [&out](std::string detail) {
+    if (out.ok) {
+      out.ok = false;
+      out.detail = std::move(detail);
+    }
+  };
+
+  ddt::TypePtr type;
+  try {
+    type = build(fc.spec);
+  } catch (const std::exception& e) {
+    fail(std::string("build threw: ") + e.what());
+    return out;
+  }
+
+  out.msg_bytes = type->size() * fc.count;
+  spin::CostModel cost{};
+  cost.pkt_payload = fc.pkt_payload;
+  out.packets = p4::packet_count(out.msg_bytes, fc.pkt_payload);
+
+  // Codec round-trip: encode -> decode must reproduce the layout.
+  try {
+    const auto encoded = ddt::encode(type);
+    const auto decoded = ddt::decode(encoded);
+    if (!decoded.has_value() || *decoded == nullptr) {
+      fail("codec: decode(encode(type)) failed");
+      return out;
+    }
+    std::string why;
+    if (!same_layout(*type, **decoded, why)) {
+      fail("codec round-trip changed the layout: " + why);
+      return out;
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("codec threw: ") + e.what());
+    return out;
+  }
+
+  // The reference: host unpack of the exact packed stream run_receive
+  // sends, laid into a buffer the size every strategy run reports.
+  const auto pattern =
+      offload::packed_message_pattern(out.msg_bytes, fc.seed);
+
+  sim::faults::FaultConfig faults;
+  if (fc.lossy) {
+    faults.drop_rate = fc.drop_rate;
+    faults.dup_rate = fc.dup_rate;
+    faults.reorder_rate = fc.reorder_rate;
+    faults.reorder_window = fc.reorder_window;
+    faults.seed = fc.seed;
+  }
+
+  std::vector<std::byte> expected;  // built from the first run's shape
+  for (const offload::StrategyKind strategy : strategies) {
+    offload::ReceiveConfig rc;
+    rc.type = type;
+    rc.count = fc.count;
+    rc.strategy = strategy;
+    rc.cost = cost;
+    rc.seed = fc.seed;
+    rc.faults = faults;
+    rc.validate = true;
+    rc.keep_buffer = true;
+    offload::ReceiveRun run;
+    try {
+      run = offload::run_receive(rc);
+    } catch (const std::exception& e) {
+      fail(std::string(offload::strategy_name(strategy)) + " threw: " +
+           e.what());
+      return out;
+    }
+    const char* name = offload::strategy_name(strategy).data();
+    if (!run.result.verified) {
+      fail(std::string(name) + ": region verification failed");
+      return out;
+    }
+    if (run.result.packets != out.packets) {
+      fail(std::string(name) + ": packet count " +
+           std::to_string(run.result.packets) + " != expected " +
+           std::to_string(out.packets));
+      return out;
+    }
+    if (expected.empty() && !run.buffer.empty()) {
+      expected.assign(run.buffer.size(), std::byte{0});
+      ddt::unpack(pattern.data(), *type, fc.count,
+                  expected.data() + run.buffer_shift);
+    }
+    if (run.buffer.size() != expected.size()) {
+      fail(std::string(name) + ": buffer size " +
+           std::to_string(run.buffer.size()) + " != reference " +
+           std::to_string(expected.size()));
+      return out;
+    }
+    if (std::memcmp(run.buffer.data(), expected.data(),
+                    expected.size()) != 0) {
+      std::size_t at = 0;
+      while (at < expected.size() && run.buffer[at] == expected[at]) ++at;
+      fail(std::string(name) + ": buffer differs from host unpack at byte " +
+           std::to_string(at) + " (shift " +
+           std::to_string(run.buffer_shift) + ")");
+      return out;
+    }
+    // Metric consistency: every packet processed exactly once.
+    const std::uint64_t delivered =
+        run.metrics.counter("nic.pkts.delivered");
+    const std::uint64_t duplicate =
+        run.metrics.counter("nic.pkts.duplicate");
+    if (delivered - duplicate != out.packets) {
+      fail(std::string(name) + ": unique deliveries " +
+           std::to_string(delivered - duplicate) + " != packet count " +
+           std::to_string(out.packets));
+      return out;
+    }
+    if (!fc.lossy) {
+      const std::uint64_t dma = run.metrics.counter("nic.dma.bytes");
+      if (dma != out.msg_bytes) {
+        fail(std::string(name) + ": lossless DMA total " +
+             std::to_string(dma) + " != message bytes " +
+             std::to_string(out.msg_bytes));
+        return out;
+      }
+    }
+  }
+
+  // Host pack/unpack baseline: the bounce buffer must carry the packed
+  // stream byte-for-byte.
+  {
+    offload::ReceiveConfig rc;
+    rc.type = type;
+    rc.count = fc.count;
+    rc.strategy = offload::StrategyKind::kHostUnpack;
+    rc.cost = cost;
+    rc.seed = fc.seed;
+    rc.faults = faults;
+    rc.validate = true;
+    try {
+      const auto run = offload::run_receive(rc);
+      if (!run.result.verified) {
+        fail("Host baseline: bounce buffer verification failed");
+        return out;
+      }
+    } catch (const std::exception& e) {
+      fail(std::string("Host baseline threw: ") + e.what());
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace netddt::fuzz

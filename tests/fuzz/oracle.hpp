@@ -1,0 +1,38 @@
+#pragma once
+// Differential oracle for one fuzz case: the same (datatype, count,
+// packet size, fault plan) goes through every offloaded receive
+// strategy plus the host pack/unpack baseline, and everything must
+// agree — byte-identical receive buffers against the ddt::unpack
+// reference (whole buffers, so stray DMA writes outside the typed
+// regions are caught too), and consistent NIC metrics (unique-packet
+// counts, DMA byte totals). The invariant checker (src/sim/check) runs
+// enabled for every simulation, so internal violations surface even
+// when the final bytes happen to be right.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/ddt_gen.hpp"
+#include "offload/strategy.hpp"
+
+namespace netddt::fuzz {
+
+struct OracleOutcome {
+  bool ok = true;
+  std::string detail;  // first failure, human-readable
+  std::uint64_t msg_bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+/// The receive strategies the oracle differentiates by default.
+std::vector<offload::StrategyKind> oracle_strategies();
+
+/// Run `fc` through `strategies` (plus the host baseline and the codec
+/// round-trip) and cross-check everything. Never throws: simulator
+/// exceptions (including check::Violation) become failures.
+OracleOutcome run_oracle(const FuzzCase& fc,
+                         const std::vector<offload::StrategyKind>&
+                             strategies = oracle_strategies());
+
+}  // namespace netddt::fuzz

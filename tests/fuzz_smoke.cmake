@@ -1,0 +1,44 @@
+# CTest script: the fixed 200-seed fuzz corpus must pass the
+# differential oracle, and the driver's output must be byte-identical
+# between --jobs 1 and --jobs 4 (results are collected and printed in
+# seed order regardless of scheduling).
+#
+# Invoked as:
+#   cmake -DDDT_FUZZ=<path-to-ddt_fuzz> -DWORK_DIR=<scratch> -P fuzz_smoke.cmake
+
+if(NOT DDT_FUZZ OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDDT_FUZZ=... -DWORK_DIR=... -P fuzz_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${DDT_FUZZ}" --seeds 200 --jobs 1 --verbose
+  OUTPUT_FILE "${WORK_DIR}/j1.txt"
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  file(READ "${WORK_DIR}/j1.txt" out)
+  message(FATAL_ERROR "ddt_fuzz --jobs 1 failed with ${rc1}:\n${out}")
+endif()
+
+execute_process(
+  COMMAND "${DDT_FUZZ}" --seeds 200 --jobs 4 --verbose
+  OUTPUT_FILE "${WORK_DIR}/j4.txt"
+  RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  file(READ "${WORK_DIR}/j4.txt" out)
+  message(FATAL_ERROR "ddt_fuzz --jobs 4 failed with ${rc4}:\n${out}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/j1.txt" "${WORK_DIR}/j4.txt"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "ddt_fuzz output diverges between --jobs 1 and --jobs 4: "
+          "${WORK_DIR}/j1.txt vs ${WORK_DIR}/j4.txt")
+endif()
+
+message(STATUS "fuzz smoke: 200-seed corpus passed, output byte-identical")
