@@ -24,6 +24,7 @@ NETDDT_EXPERIMENT(fig08,
 
   const std::uint32_t hpus = params.hpus_or(16);
   const std::uint64_t seed = params.seed_or(1);
+  const auto engine = params.match_engine_or(p4::MatchEngineKind::kHashed);
 
   std::vector<std::int64_t> blocks = {4,   16,   32,   64,   128,  256,
                                       512, 1024, 2048, 4096, 8192, 16384};
@@ -41,8 +42,9 @@ NETDDT_EXPERIMENT(fig08,
   const auto tc = params.trace_config();
   for (std::int64_t block : blocks) {
     for (auto kind : kinds) {
-      sweep.submit([block, kind, hpus, seed, tc] {
+      sweep.submit([block, kind, hpus, seed, tc, engine] {
         offload::ReceiveConfig cfg;
+        cfg.match_engine = engine;
         cfg.type = ddt::Datatype::hvector(
             static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
             ddt::Datatype::int8());

@@ -22,8 +22,9 @@ constexpr offload::StrategyKind kKinds[] = {
     StrategyKind::kHpuLocal};
 
 offload::ReceiveRun run(StrategyKind kind, std::int64_t block,
-                        std::uint32_t hpus) {
+                        std::uint32_t hpus, p4::MatchEngineKind engine) {
   offload::ReceiveConfig cfg;
+  cfg.match_engine = engine;
   cfg.type = ddt::Datatype::hvector(
       static_cast<std::int64_t>(kMessage) / block, block, 2 * block,
       ddt::Datatype::int8());
@@ -45,6 +46,7 @@ NETDDT_EXPERIMENT(fig13, "receive throughput and NIC memory scalability") {
   const std::uint32_t base_hpus = params.hpus_or(16);
   const std::int64_t base_block =
       static_cast<std::int64_t>(params.blocks_or(2048));
+  const auto engine = params.match_engine_or(p4::MatchEngineKind::kHashed);
 
   std::vector<std::uint32_t> hpu_sweep = {2, 4, 8, 16, 32};
   std::vector<std::int64_t> block_sweep = {4, 32, 128, 512, 2048, 8192};
@@ -60,17 +62,23 @@ NETDDT_EXPERIMENT(fig13, "receive throughput and NIC memory scalability") {
   bench::Sweep<offload::ReceiveRun> sweep(params.executor);
   for (std::uint32_t hpus : hpu_sweep) {
     for (auto k : kKinds) {
-      sweep.submit([k, base_block, hpus] { return run(k, base_block, hpus); });
+      sweep.submit([k, base_block, hpus, engine] {
+        return run(k, base_block, hpus, engine);
+      });
     }
   }
   for (std::int64_t block : block_sweep) {
     for (auto k : kKinds) {
-      sweep.submit([k, block, base_hpus] { return run(k, block, base_hpus); });
+      sweep.submit([k, block, base_hpus, engine] {
+        return run(k, block, base_hpus, engine);
+      });
     }
   }
   for (std::uint32_t hpus : hpu_mem_sweep) {
     for (auto k : kKinds) {
-      sweep.submit([k, base_block, hpus] { return run(k, base_block, hpus); });
+      sweep.submit([k, base_block, hpus, engine] {
+        return run(k, base_block, hpus, engine);
+      });
     }
   }
   auto runs = sweep.collect();

@@ -25,6 +25,8 @@ NETDDT_EXPERIMENT(fig15,
 
   for (auto kind : kinds) {
     offload::ReceiveConfig cfg;
+    cfg.match_engine =
+        params.match_engine_or(p4::MatchEngineKind::kHashed);
     cfg.type = ddt::Datatype::hvector(
         static_cast<std::int64_t>(kMessage) / kBlock, kBlock, 2 * kBlock,
         ddt::Datatype::int8());

@@ -22,11 +22,13 @@ NETDDT_EXPERIMENT(fig18, "datatype reuses to amortize checkpoint creation") {
   if (params.smoke && workloads.size() > 4) workloads.resize(4);
 
   // (RW-CP, host) pair per workload, fanned out through the pool.
+  const auto engine = params.match_engine_or(p4::MatchEngineKind::kHashed);
   bench::Sweep<offload::ReceiveRun> sweep(params.executor);
   for (const auto& w : workloads) {
     for (auto kind : {StrategyKind::kRwCp, StrategyKind::kHostUnpack}) {
-      sweep.submit([type = w.type, count = w.count, kind] {
+      sweep.submit([type = w.type, count = w.count, kind, engine] {
         offload::ReceiveConfig cfg;
+        cfg.match_engine = engine;
         cfg.type = type;
         cfg.count = count;
         cfg.verify = false;

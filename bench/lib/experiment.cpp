@@ -55,6 +55,8 @@ void usage(const char* argv0) {
       "  --blocks N      override the block size (bytes)\n"
       "  --seed N        override the experiment seed\n"
       "  --line-rate G   override the link rate (Gbit/s)\n"
+      "  --match-engine E  matching unit: linear | hashed (default\n"
+      "                  hashed; results are byte-identical either way)\n"
       "  --drop-rate P   wire packet-drop probability [0,1]\n"
       "  --dup-rate P    wire packet-duplication probability [0,1]\n"
       "  --reorder-rate P  wire packet-reorder probability [0,1]\n"
@@ -164,6 +166,12 @@ int bench_main(int argc, char** argv) {
       double d = 0;
       ok = v != nullptr && parse_f64(v, &d);
       if (ok) params.line_rate = d;
+    } else if (std::strcmp(arg, "--match-engine") == 0) {
+      const char* v = next();
+      const auto kind =
+          v != nullptr ? p4::parse_match_engine(v) : std::nullopt;
+      ok = kind.has_value();
+      if (ok) params.match_engine = *kind;
     } else if (std::strcmp(arg, "--drop-rate") == 0) {
       const char* v = next();
       double d = 0;

@@ -28,6 +28,7 @@
 
 #include "bench/lib/parallel.hpp"
 #include "bench/lib/report.hpp"
+#include "p4/match.hpp"
 #include "sim/faults/faults.hpp"
 #include "sim/trace/chrome.hpp"
 #include "sim/trace/trace.hpp"
@@ -53,6 +54,11 @@ class Params {
   std::optional<std::uint64_t> blocks;  // block size (bytes)
   std::optional<std::uint64_t> seed;
   std::optional<double> line_rate;  // Gbit/s
+  /// --match-engine: matching-unit implementation override. Functional
+  /// only (both engines produce byte-identical simulation output), so
+  /// DELIBERATELY not echoed into reports — tests/engine_equality.cmake
+  /// byte-compares the JSON of both engines, which an echo would defeat.
+  std::optional<p4::MatchEngineKind> match_engine;
   std::optional<double> drop_rate;          // --drop-rate
   std::optional<double> dup_rate;           // --dup-rate
   std::optional<double> reorder_rate;       // --reorder-rate
@@ -84,6 +90,10 @@ class Params {
   }
   double line_rate_or(double def) const {
     return echo("line_rate_gbps", line_rate.value_or(def));
+  }
+  /// No echo — see the field comment.
+  p4::MatchEngineKind match_engine_or(p4::MatchEngineKind def) const {
+    return match_engine.value_or(def);
   }
   /// Effective wire-fault config for experiments that model a lossy
   /// wire: CLI overrides applied on top of `def`, with every rate and

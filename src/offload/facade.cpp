@@ -7,6 +7,31 @@
 
 namespace netddt::offload {
 
+DdtEngine::DdtEngine(spin::NicModel& nic, spin::EvictionPolicyKind policy)
+    : nic_(&nic),
+      evictions_(&nic.metrics().counter("offload.evictions")),
+      host_fallbacks_(&nic.metrics().counter("offload.host_fallbacks")) {
+  nic_->memory().set_policy(spin::make_eviction_policy(policy));
+  nic_->memory().set_eviction_callback(
+      [this](spin::NicMemory::Handle mem, const std::string&) {
+        on_evicted(mem);
+      });
+}
+
+DdtEngine::~DdtEngine() {
+  nic_->memory().set_eviction_callback({});
+}
+
+void DdtEngine::on_evicted(spin::NicMemory::Handle mem) {
+  for (auto& p : plans_) {
+    if (p->mem == mem) {
+      p->mem = spin::NicMemory::kInvalid;
+      evictions_->add(1);
+      return;
+    }
+  }
+}
+
 DdtEngine::TypeHandle DdtEngine::commit(ddt::TypePtr type,
                                         TypeAttributes attrs) {
   assert(type && type->size() > 0);
@@ -60,27 +85,15 @@ DdtEngine::CachedPlan* DdtEngine::find_plan(TypeHandle handle,
 }
 
 bool DdtEngine::try_alloc(CachedPlan& plan) {
-  if (plan.mem != spin::NicMemory::kInvalid) return true;
-  plan.mem = nic_->memory().alloc(plan.nic_bytes, "ddt-plan");
-  return plan.mem != spin::NicMemory::kInvalid;
-}
-
-void DdtEngine::evict_one(int max_priority, bool* evicted) {
-  // LRU among resident plans whose priority does not exceed the
-  // requester's (higher-priority types survive, paper Sec 3.2.6).
-  CachedPlan* victim = nullptr;
-  for (auto& p : plans_) {
-    if (p->mem == spin::NicMemory::kInvalid) continue;
-    if (p->priority > max_priority) continue;
-    if (victim == nullptr || p->last_use < victim->last_use) {
-      victim = p.get();
-    }
+  if (plan.mem != spin::NicMemory::kInvalid) {
+    nic_->memory().touch(plan.mem);  // LRU refresh on reuse
+    return true;
   }
-  if (victim == nullptr) return;
-  nic_->memory().free(victim->mem);
-  victim->mem = spin::NicMemory::kInvalid;
-  evictions_->add(1);
-  *evicted = true;
+  spin::NicMemory::AllocOptions options;
+  options.priority = plan.priority;
+  options.evictable = true;
+  plan.mem = nic_->memory().alloc(plan.nic_bytes, "ddt-plan", options);
+  return plan.mem != spin::NicMemory::kInvalid;
 }
 
 DdtEngine::PostResult DdtEngine::post_receive(TypeHandle handle,
@@ -91,7 +104,6 @@ DdtEngine::PostResult DdtEngine::post_receive(TypeHandle handle,
   auto it = types_.find(handle);
   assert(it != types_.end() && "post_receive on an uncommitted type");
   const Committed& committed = it->second;
-  ++tick_;
 
   PostResult result{};
   p4::MatchEntry me;
@@ -125,15 +137,12 @@ DdtEngine::PostResult DdtEngine::post_receive(TypeHandle handle,
       plans_.push_back(std::move(fresh));
       plan = plans_.back().get();
     }
-    plan->last_use = tick_;
-
-    // Allocate NIC memory, evicting colder plans if needed.
-    while (!try_alloc(*plan)) {
-      bool evicted = false;
-      evict_one(plan->priority, &evicted);
-      if (!evicted) break;
-      result.evicted_others = true;
-    }
+    // Allocate NIC memory; the installed policy evicts colder plans
+    // (at most the requester's priority — paper Sec 3.2.6) inside
+    // NicMemory and notifies on_evicted() for each victim.
+    const std::uint64_t evictions_before = nic_->memory().evictions();
+    try_alloc(*plan);
+    result.evicted_others = nic_->memory().evictions() > evictions_before;
 
     if (plan->mem != spin::NicMemory::kInvalid) {
       me.context = nic_->register_context(

@@ -39,10 +39,16 @@ class DdtEngine {
  public:
   using TypeHandle = std::uint64_t;
 
-  explicit DdtEngine(spin::NicModel& nic)
-      : nic_(&nic),
-        evictions_(&nic.metrics().counter("offload.evictions")),
-        host_fallbacks_(&nic.metrics().counter("offload.host_fallbacks")) {}
+  /// Installs `policy` (LRU by default — the paper's victim selection)
+  /// on the NIC's memory and registers an eviction callback that marks
+  /// evicted plans non-resident; the engine must therefore outlive no
+  /// NicModel it is constructed on (the destructor detaches).
+  explicit DdtEngine(
+      spin::NicModel& nic,
+      spin::EvictionPolicyKind policy = spin::EvictionPolicyKind::kLru);
+  ~DdtEngine();
+  DdtEngine(const DdtEngine&) = delete;
+  DdtEngine& operator=(const DdtEngine&) = delete;
 
   /// Commit a datatype: normalization + strategy selection happen here;
   /// the type becomes usable in post_receive.
@@ -93,19 +99,19 @@ class DdtEngine {
     std::unique_ptr<GeneralPlan> general;
     spin::NicMemory::Handle mem = spin::NicMemory::kInvalid;
     std::uint64_t nic_bytes = 0;
-    std::uint64_t last_use = 0;
     int priority = 0;
   };
 
   CachedPlan* find_plan(TypeHandle handle, std::uint64_t count);
+  /// Allocate (or reuse) the plan's NIC memory; eviction of colder
+  /// plans happens inside NicMemory under the installed policy.
   bool try_alloc(CachedPlan& plan);
-  void evict_one(int max_priority, bool* evicted);
+  void on_evicted(spin::NicMemory::Handle mem);
 
   spin::NicModel* nic_;
   std::map<TypeHandle, Committed> types_;
   std::vector<std::unique_ptr<CachedPlan>> plans_;
   TypeHandle next_handle_ = 1;
-  std::uint64_t tick_ = 0;
   sim::Counter* evictions_;
   sim::Counter* host_fallbacks_;
 };

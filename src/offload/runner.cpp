@@ -86,8 +86,10 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
 
   sim::Engine engine;
   spin::Host host(host_bytes);
-  spin::NicModel nic(engine, host, config.cost,
-                     spin::NicConfig{config.hpus, config.nicmem_bytes});
+  spin::NicModel nic(
+      engine, host, config.cost,
+      spin::NicConfig{config.hpus, config.nicmem_bytes,
+                      config.match_engine});
   spin::Link link(engine, nic, nic.cost());
   if (config.trace.any()) {
     run.tracer = std::make_unique<sim::trace::Tracer>(config.trace);
@@ -113,7 +115,10 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
                                             nic.cost(),
                                             /*closed_form_only=*/false);
       res.nic_descriptor_bytes = specialized->descriptor_bytes();
-      nic.memory().alloc(res.nic_descriptor_bytes, "specialized");
+      // Pinned: the state belongs to the one in-flight message, so no
+      // eviction policy may reclaim it mid-receive.
+      nic.memory().alloc(res.nic_descriptor_bytes, "specialized",
+                         {.pinned = true});
       me.context = nic.register_context(specialized->context(nic));
       break;
     }
@@ -136,7 +141,8 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
       nic.metrics()
           .counter("offload.checkpoint.interval_bytes")
           .add(res.checkpoint_interval);
-      nic.memory().alloc(res.nic_descriptor_bytes, "general");
+      nic.memory().alloc(res.nic_descriptor_bytes, "general",
+                         {.pinned = true});
       me.context = nic.register_context(general->context(nic));
       break;
     }

@@ -11,6 +11,7 @@
 
 #include "ddt/datatype.hpp"
 #include "offload/strategy.hpp"
+#include "p4/match.hpp"
 #include "p4/put.hpp"
 #include "sim/faults/faults.hpp"
 #include "sim/metrics.hpp"
@@ -26,6 +27,9 @@ struct ReceiveConfig {
   spin::CostModel cost{};
   std::uint32_t hpus = 16;
   std::uint64_t nicmem_bytes = 4ull << 20;
+  /// Matching-unit implementation; functional only (identical simulated
+  /// timing), so results are byte-identical across engines.
+  p4::MatchEngineKind match_engine = p4::MatchEngineKind::kHashed;
   double epsilon = 0.2;  // RW/RO-CP scheduling-overhead budget
   std::uint64_t pkt_buffer_bytes = 512ull << 10;
   /// Reorder payload packets within windows of this many slots (0 = in

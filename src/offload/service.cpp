@@ -1,0 +1,282 @@
+#include "offload/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "ddt/pack.hpp"
+#include "offload/runner.hpp"
+#include "p4/put.hpp"
+#include "sim/check.hpp"
+#include "sim/stats.hpp"
+#include "spin/link.hpp"
+
+namespace netddt::offload {
+namespace {
+
+/// Message ids / match bits encode (tenant, sequence): tenants own
+/// disjoint high-bit prefixes, which is also what gives the hashed
+/// match engine its per-peer buckets (see p4/match.hpp).
+std::uint64_t msg_key(std::uint32_t tenant, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(tenant + 1) << 40) | seq;
+}
+
+/// Per-tenant receive-buffer geometry (one dedicated slot per message,
+/// so late verification of any sampled message stays sound).
+struct TenantGeometry {
+  std::uint64_t msg_bytes = 0;
+  std::int64_t shift = 0;       // lift negative-lb layouts into the slot
+  std::uint64_t stride = 0;     // slot size, 64-byte aligned
+  std::int64_t base = 0;        // first slot's offset in host memory
+  std::vector<ddt::Region> regions;
+};
+
+TenantGeometry tenant_geometry(const ServiceTenant& t) {
+  TenantGeometry g;
+  g.msg_bytes = t.type->size() * t.count;
+  const std::int64_t lo =
+      std::min({std::int64_t{0}, t.type->lb(), t.type->true_lb()});
+  const std::int64_t hi =
+      std::max({std::int64_t{0}, t.type->ub(), t.type->true_ub()});
+  g.shift = -lo;
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(t.type->extent()) * (t.count - 1) +
+      static_cast<std::uint64_t>(hi);
+  // The slot must hold the scattered layout *and* a packed host-fallback
+  // landing, whichever the facade picks for any given message.
+  const std::uint64_t need = static_cast<std::uint64_t>(g.shift) +
+                             std::max(span, g.msg_bytes) + 64;
+  g.stride = (need + 63) & ~std::uint64_t{63};
+  g.regions = t.type->flatten(t.count);
+  return g;
+}
+
+struct MsgRecord {
+  std::uint32_t tenant = 0;
+  std::uint64_t seq = 0;
+  sim::Time arrival = 0;
+  bool host_path = false;  // facade fell back: packed landing
+  std::vector<std::byte> packed;  // alive until the message completes
+};
+
+struct ServiceState {
+  const ServiceConfig* config = nullptr;
+  sim::Engine* engine = nullptr;
+  spin::Host* host = nullptr;
+  spin::NicModel* nic = nullptr;
+  spin::Link* link = nullptr;
+  DdtEngine* facade = nullptr;
+
+  std::vector<TenantGeometry> geometry;
+  std::vector<DdtEngine::TypeHandle> handles;
+  std::vector<TenantStats> stats;
+
+  std::unordered_map<std::uint64_t, MsgRecord> live;
+  std::deque<std::uint64_t> pending;  // awaiting admission, arrival order
+  std::uint64_t inflight = 0;
+  std::uint64_t peak_inflight = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t verify_failures = 0;
+
+  void on_arrival(std::uint32_t tenant, std::uint64_t seq, sim::Time at);
+  void admit(std::uint64_t key);
+  void on_done(std::uint64_t key, sim::Time when);
+  bool verify(const MsgRecord& rec) const;
+};
+
+void ServiceState::on_arrival(std::uint32_t tenant, std::uint64_t seq,
+                              sim::Time at) {
+  TenantStats& ts = stats[tenant];
+  if (ts.offered == 0 || at < ts.first_arrival) ts.first_arrival = at;
+  ts.offered += 1;
+  const std::uint64_t key = msg_key(tenant, seq);
+  MsgRecord& rec = live[key];
+  rec.tenant = tenant;
+  rec.seq = seq;
+  rec.arrival = at;
+  if (inflight >= config->max_inflight) {
+    ts.backpressured += 1;
+    pending.push_back(key);
+    return;
+  }
+  admit(key);
+}
+
+void ServiceState::admit(std::uint64_t key) {
+  MsgRecord& rec = live.at(key);
+  const ServiceTenant& tenant = config->tenants[rec.tenant];
+  const TenantGeometry& g = geometry[rec.tenant];
+  const std::int64_t slot =
+      g.base + static_cast<std::int64_t>(rec.seq * g.stride);
+
+  const DdtEngine::PostResult post = facade->post_receive(
+      handles[rec.tenant], tenant.count, slot + g.shift, g.stride,
+      /*match_bits=*/key);
+  rec.host_path = post.strategy == StrategyKind::kHostUnpack;
+  if (rec.host_path) stats[rec.tenant].host_fallbacks += 1;
+
+  // Each message carries its own seeded pattern so verification can
+  // tell messages of the same tenant apart.
+  rec.packed = packed_message_pattern(
+      g.msg_bytes, config->seed * 0x10001 + key);
+  const auto packets =
+      p4::packetize(key, key, rec.packed, config->cost.pkt_payload);
+  link->send_queued(packets, engine->now());
+
+  inflight += 1;
+  peak_inflight = std::max(peak_inflight, inflight);
+}
+
+bool ServiceState::verify(const MsgRecord& rec) const {
+  const ServiceTenant& tenant = config->tenants[rec.tenant];
+  const TenantGeometry& g = geometry[rec.tenant];
+  const std::int64_t slot =
+      g.base + static_cast<std::int64_t>(rec.seq * g.stride);
+  const std::byte* mem = host->memory().data();
+  if (g.msg_bytes == 0) return true;
+  if (rec.host_path) {
+    // Host fallback: the slot holds the raw packed stream.
+    return std::memcmp(mem + slot + g.shift, rec.packed.data(),
+                       g.msg_bytes) == 0;
+  }
+  std::vector<std::byte> ref(g.stride, std::byte{0});
+  ddt::unpack(rec.packed.data(), *tenant.type, tenant.count,
+              ref.data() + g.shift);
+  for (const auto& r : g.regions) {
+    const std::int64_t at = g.shift + r.offset;
+    if (std::memcmp(mem + slot + at, ref.data() + at, r.size) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ServiceState::on_done(std::uint64_t key, sim::Time when) {
+  const auto it = live.find(key);
+  if (it == live.end()) return;  // not a service-managed message
+  MsgRecord& rec = it->second;
+  TenantStats& ts = stats[rec.tenant];
+  ts.completed += 1;
+  ts.bytes += geometry[rec.tenant].msg_bytes;
+  ts.last_done = std::max(ts.last_done, when);
+  ts.completion.add(when - rec.arrival);
+
+  const std::uint64_t every = config->verify_every;
+  if (every > 0 && rec.seq % every == 0) {
+    verified += 1;
+    if (!verify(rec)) verify_failures += 1;
+  }
+  live.erase(it);
+
+  inflight -= 1;
+  if (!pending.empty() && inflight < config->max_inflight) {
+    const std::uint64_t next = pending.front();
+    pending.pop_front();
+    admit(next);
+  }
+}
+
+}  // namespace
+
+ServiceRun run_service(const ServiceConfig& config) {
+  assert(!config.tenants.empty() && "service needs at least one tenant");
+  assert(config.max_inflight > 0 && "admission window must be positive");
+  std::optional<sim::check::ScopedEnable> check_scope;
+  if (config.validate) check_scope.emplace(true);
+
+  ServiceState st;
+  st.config = &config;
+  st.geometry.reserve(config.tenants.size());
+  std::uint64_t host_bytes = 64;
+  for (const auto& t : config.tenants) {
+    assert(t.type && t.count > 0 && t.messages > 0);
+    TenantGeometry g = tenant_geometry(t);
+    g.base = static_cast<std::int64_t>(host_bytes);
+    host_bytes += g.stride * t.messages;
+    st.geometry.push_back(std::move(g));
+  }
+  st.stats.resize(config.tenants.size());
+
+  sim::Engine engine;
+  spin::Host host(host_bytes);
+  spin::NicModel nic(engine, host, config.cost,
+                     spin::NicConfig{config.hpus, config.nicmem_bytes,
+                                     config.match_engine});
+  spin::Link link(engine, nic, nic.cost());
+  DdtEngine facade(nic, config.eviction);
+  st.engine = &engine;
+  st.host = &host;
+  st.nic = &nic;
+  st.link = &link;
+  st.facade = &facade;
+
+  for (const auto& t : config.tenants) {
+    st.handles.push_back(facade.commit(t.type, t.attrs));
+  }
+
+  nic.set_msg_done_callback([state = &st](std::uint64_t key, sim::Time when) {
+    state->on_done(key, when);
+  });
+
+  // Precompute every tenant's arrival schedule (single-threaded, tenant
+  // order) and post the arrival events; the rest of the run is driven
+  // by the DES and the NIC's completion callback.
+  for (std::uint32_t t = 0; t < config.tenants.size(); ++t) {
+    sim::ArrivalConfig ac = config.tenants[t].arrivals;
+    ac.seed ^= config.seed;
+    sim::ArrivalProcess arrivals(ac, /*stream=*/t);
+    for (std::uint64_t seq = 0; seq < config.tenants[t].messages; ++seq) {
+      const sim::Time at = arrivals.next();
+      engine.schedule_at(at, [state = &st, t, seq, at] {
+        state->on_arrival(t, seq, at);
+      });
+    }
+  }
+
+  engine.run();
+  assert(st.live.empty() && st.pending.empty() &&
+         "service run drained with messages outstanding");
+
+  nic.metrics().finalize_series(engine.now());
+
+  ServiceRun run;
+  run.peak_inflight = st.peak_inflight;
+  run.verified = st.verified;
+  run.verify_failures = st.verify_failures;
+  run.evictions = facade.evictions();
+  run.host_fallbacks = facade.host_fallbacks();
+  run.metrics = nic.metrics().snapshot();
+
+  sim::Time first = 0, last = 0;
+  bool any = false;
+  std::vector<double> shares;
+  std::uint64_t total_bytes = 0;
+  for (auto& ts : st.stats) {
+    if (ts.completed > 0) {
+      const sim::Time dt = std::max<sim::Time>(ts.last_done -
+                                               ts.first_arrival, 1);
+      // bytes/ps * 8 bits * 1e12 ps/s / 1e9 = Gbit/s.
+      ts.goodput_gbps = static_cast<double>(ts.bytes) * 8.0 * 1000.0 /
+                        static_cast<double>(dt);
+      if (!any || ts.first_arrival < first) first = ts.first_arrival;
+      last = std::max(last, ts.last_done);
+      any = true;
+    }
+    shares.push_back(ts.goodput_gbps);
+    total_bytes += ts.bytes;
+  }
+  run.fairness = sim::jain_index(shares);
+  if (any) {
+    run.makespan = last - first;
+    run.goodput_gbps = static_cast<double>(total_bytes) * 8.0 * 1000.0 /
+                       static_cast<double>(std::max<sim::Time>(run.makespan,
+                                                               1));
+  }
+  run.tenants = std::move(st.stats);
+  return run;
+}
+
+}  // namespace netddt::offload

@@ -1,0 +1,92 @@
+#pragma once
+// Steady-state service driver: many concurrent receives per tenant,
+// offered by an open-loop arrival process, flowing through the MPI
+// facade (plan cache, eviction policy, host fallback) onto one NIC.
+//
+// Where run_receive() measures a single message in isolation, this
+// driver measures the NIC *as a service*: tenants post receives on
+// their own clocks, messages queue at the sender's shared injection
+// port (spin::Link::send_queued), handler state competes for HPUs and
+// NIC memory, and the interesting outputs are sustained goodput,
+// per-tenant fairness (Jain's index), and completion-time tails.
+//
+// Backpressure: at most `max_inflight` messages are admitted (receive
+// posted + packets queued) at once — the model of a finite receive
+// window. Arrivals beyond it wait in FIFO order and are admitted as
+// messages retire (counted per tenant in `backpressured`). Admission is
+// driven by NicModel's message-done callback, so the loop closes inside
+// the simulation with no wall-clock dependence.
+//
+// Determinism: arrival schedules are pure functions of (config, tenant
+// index) — see sim/arrivals.hpp — and everything else is the ordinary
+// deterministic DES machinery, so a ServiceRun is byte-identical across
+// repeats and --jobs layouts for a fixed config.
+
+#include <cstdint>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+#include "offload/facade.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace/histogram.hpp"
+#include "spin/cost_model.hpp"
+#include "spin/nic.hpp"
+
+namespace netddt::offload {
+
+struct ServiceTenant {
+  ddt::TypePtr type;
+  std::uint64_t count = 1;
+  TypeAttributes attrs{};          // facade attributes (priority, epsilon)
+  sim::ArrivalConfig arrivals{};
+  std::uint64_t messages = 256;    // messages this tenant offers
+};
+
+struct ServiceConfig {
+  std::vector<ServiceTenant> tenants;
+  spin::CostModel cost{};
+  std::uint32_t hpus = 16;
+  std::uint64_t nicmem_bytes = 4ull << 20;
+  p4::MatchEngineKind match_engine = p4::MatchEngineKind::kHashed;
+  spin::EvictionPolicyKind eviction = spin::EvictionPolicyKind::kLru;
+  /// Admission window: receives posted + in flight at any instant.
+  std::uint64_t max_inflight = 1024;
+  std::uint64_t seed = 1;
+  /// Force the invariant checker on for this run (thread-scoped).
+  bool validate = false;
+  /// Verify every Nth completed message of each tenant against the
+  /// reference unpack (0 disables). Sampled because full verification
+  /// of thousands of messages would dominate the run.
+  std::uint64_t verify_every = 16;
+};
+
+struct TenantStats {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t backpressured = 0;  // arrivals that waited for admission
+  std::uint64_t host_fallbacks = 0;
+  std::uint64_t bytes = 0;          // payload bytes completed
+  sim::Time first_arrival = 0;
+  sim::Time last_done = 0;
+  double goodput_gbps = 0.0;
+  /// Completion time (arrival -> unpack done, includes admission wait).
+  sim::trace::Histogram completion;
+};
+
+struct ServiceRun {
+  std::vector<TenantStats> tenants;
+  double goodput_gbps = 0.0;  // aggregate sustained goodput
+  double fairness = 1.0;      // Jain's index over per-tenant goodputs
+  sim::Time makespan = 0;     // first arrival -> last completion
+  std::uint64_t peak_inflight = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t verify_failures = 0;
+  std::uint64_t evictions = 0;       // facade plan evictions
+  std::uint64_t host_fallbacks = 0;  // facade host-unpack fallbacks
+  sim::MetricsSnapshot metrics;
+};
+
+ServiceRun run_service(const ServiceConfig& config);
+
+}  // namespace netddt::offload

@@ -1,0 +1,64 @@
+#include "sim/arrivals.hpp"
+
+#include <cmath>
+
+namespace netddt::sim {
+
+namespace {
+/// SplitMix64 finalizer: decorrelates (seed, stream) pairs so adjacent
+/// streams don't share low-bit structure (same mixer sim::Rng seeds
+/// with).
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config,
+                               std::uint64_t stream)
+    : config_(config),
+      rng_(mix(config.seed * 0x9E3779B97F4A7C15ull + stream + 1)) {
+  const double rate = config_.rate > 0 ? config_.rate : 1.0;
+  const double mean_gap_ps = 1e12 / rate;
+  if (config_.kind == ArrivalKind::kPoisson) {
+    gap_mean_ps_ = mean_gap_ps;
+    return;
+  }
+  // Interrupted Poisson: emit at rate/on_fraction during ON windows of
+  // mean burst_len messages; OFF gaps make the duty cycle on_fraction.
+  const double on_fraction =
+      config_.on_fraction > 0.0 && config_.on_fraction <= 1.0
+          ? config_.on_fraction
+          : 1.0;
+  const double burst = config_.burst_len >= 1.0 ? config_.burst_len : 1.0;
+  gap_mean_ps_ = mean_gap_ps * on_fraction;
+  on_mean_ps_ = gap_mean_ps_ * burst;
+  off_mean_ps_ = on_mean_ps_ * (1.0 - on_fraction) / on_fraction;
+  on_end_ps_ = exp_sample(on_mean_ps_);
+}
+
+double ArrivalProcess::exp_sample(double mean_ps) {
+  // Inverse-CDF; 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean_ps * std::log(1.0 - rng_.uniform());
+}
+
+Time ArrivalProcess::next() {
+  if (config_.kind == ArrivalKind::kPoisson) {
+    now_ps_ += exp_sample(gap_mean_ps_);
+    return static_cast<Time>(now_ps_);
+  }
+  for (;;) {
+    const double gap = exp_sample(gap_mean_ps_);
+    if (now_ps_ + gap <= on_end_ps_) {
+      now_ps_ += gap;
+      return static_cast<Time>(now_ps_);
+    }
+    // Burst over (memoryless, so the unused remainder of the gap can be
+    // resampled): jump the OFF period into a fresh ON window.
+    now_ps_ = on_end_ps_ + exp_sample(off_mean_ps_);
+    on_end_ps_ = now_ps_ + exp_sample(on_mean_ps_);
+  }
+}
+
+}  // namespace netddt::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Open-loop arrival processes for steady-state service experiments.
+//
+// A closed-loop driver (send, wait, send) can never overload the NIC; an
+// open-loop process offers messages on its own clock and lets queueing
+// happen, which is where saturation, fairness, and tail latency become
+// visible. Two processes:
+//
+//  - kPoisson: memoryless arrivals at `rate` messages/second.
+//  - kOnOff: an interrupted Poisson process (bursty). ON windows emit
+//    arrivals at rate / on_fraction (mean burst_len messages per
+//    window), separated by exponential OFF gaps sized so the *long-run*
+//    offered load equals `rate` — sweeps can compare smooth vs bursty
+//    traffic at identical load.
+//
+// Determinism contract (mirrors sim::faults::FaultPlan): the sequence of
+// arrival times is a pure function of (config, stream). Each tenant gets
+// its own `stream`, every sample comes from a private sim::Rng seeded by
+// mixing config.seed with the stream id, and no global state is touched
+// — so schedules are independent of --jobs scheduling and of other
+// tenants' draws.
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace netddt::sim {
+
+enum class ArrivalKind { kPoisson, kOnOff };
+
+inline const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kOnOff: return "on-off";
+  }
+  return "?";
+}
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate = 1e6;          // long-run offered load, messages/second
+  double on_fraction = 0.25;  // kOnOff: fraction of time spent ON
+  double burst_len = 16.0;    // kOnOff: mean messages per ON window
+  std::uint64_t seed = 1;
+};
+
+/// Generator of one tenant's arrival times (monotonically nondecreasing
+/// picosecond timestamps starting after t=0).
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& config, std::uint64_t stream);
+
+  /// The next arrival time.
+  Time next();
+
+ private:
+  double exp_sample(double mean_ps);
+
+  ArrivalConfig config_;
+  Rng rng_;
+  double now_ps_ = 0.0;
+  double on_end_ps_ = 0.0;   // kOnOff: current ON window end
+  double gap_mean_ps_ = 0.0; // mean inter-arrival gap while emitting
+  double on_mean_ps_ = 0.0;  // kOnOff: mean ON window length
+  double off_mean_ps_ = 0.0; // kOnOff: mean OFF gap length
+};
+
+}  // namespace netddt::sim

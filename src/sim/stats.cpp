@@ -99,4 +99,14 @@ std::string Log2Histogram::to_string(const std::string& unit) const {
   return os.str();
 }
 
+double jain_index(const std::vector<double>& shares) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (shares.empty() || sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+}
+
 }  // namespace netddt::sim

@@ -40,6 +40,12 @@ double percentile(std::vector<double>& samples, double p);
 /// Geometric mean; all samples must be > 0.
 double geomean(const std::vector<double>& samples);
 
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over per-tenant
+/// shares (throughput, goodput): 1.0 when every tenant gets the same
+/// share, 1/n when one tenant gets everything. 0 for empty/all-zero
+/// input.
+double jain_index(const std::vector<double>& shares);
+
 /// Histogram over log2-spaced buckets, bucket i covering
 /// [lo*2^i, lo*2^(i+1)). Matches the paper's Fig 17 presentation.
 class Log2Histogram {

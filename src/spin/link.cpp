@@ -52,6 +52,30 @@ sim::Time Link::send_paced(const std::vector<p4::Packet>& packets,
   return deliver_in_order(order, ready, start);
 }
 
+sim::Time Link::send_queued(const std::vector<p4::Packet>& packets,
+                            sim::Time earliest) {
+  sim::trace::Tracer* tracer = target_->tracer();
+  const bool trace = tracer != nullptr && tracer->events_on();
+  const std::uint32_t link_track = trace ? tracer->track("link") : 0;
+  sim::Time last_arrival = std::max(port_free_, earliest);
+  for (const p4::Packet& pkt : packets) {
+    const sim::Time depart = std::max(port_free_, earliest);
+    const sim::Time on_wire = cost_->wire_time(
+        std::max<std::uint64_t>(pkt.payload_bytes, 1));  // header flit
+    port_free_ = depart + on_wire;
+    const sim::Time arrival = port_free_ + cost_->net_latency;
+    last_arrival = std::max(last_arrival, arrival);
+    if (trace) {
+      tracer->complete(
+          link_track, "wire", depart, port_free_,
+          static_cast<std::int64_t>(pkt.msg_id),
+          static_cast<std::int64_t>(pkt.offset / cost_->pkt_payload));
+    }
+    engine_->schedule_at(arrival, [nic = target_, pkt] { nic->deliver(pkt); });
+  }
+  return last_arrival;
+}
+
 // --- Reliable transport over a faulty wire --------------------------------
 //
 // One ReliableTransfer is the sender-side state machine of a single put:

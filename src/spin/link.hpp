@@ -66,6 +66,20 @@ class Link {
                           sim::Time start, std::uint32_t window,
                           std::uint64_t seed);
 
+  /// Inject `packets` through the link's *shared* injection port: unlike
+  /// send(), whose per-call wire clock models concurrent senders on
+  /// separate ports, send_queued serializes all queued sends behind one
+  /// persistent clock — a message departs no earlier than `earliest` and
+  /// no earlier than the last byte of every previously queued message.
+  /// This is the open-loop service model: arrivals that outpace the line
+  /// rate queue at the sender and the wire becomes the bottleneck.
+  /// Returns the arrival time of the last packet.
+  sim::Time send_queued(const std::vector<p4::Packet>& packets,
+                        sim::Time earliest);
+
+  /// The shared injection port's busy-until time (send_queued only).
+  sim::Time port_free() const { return port_free_; }
+
   /// Completion notification of a reliable put: fires once, either when
   /// the completion packet is acked (`ok`) or when a packet exhausts its
   /// retries (`!ok`; the message will never complete at the receiver).
@@ -102,6 +116,7 @@ class Link {
   sim::Engine* engine_;
   NicModel* target_;
   const CostModel* cost_;
+  sim::Time port_free_ = 0;  // shared injection-port clock (send_queued)
 };
 
 }  // namespace netddt::spin

@@ -12,6 +12,7 @@ NicModel::NicModel(sim::Engine& engine, Host& host, CostModel cost,
     : engine_(&engine),
       host_(&host),
       cost_(cost),
+      match_list_(config.match_engine),
       nic_memory_(config.nicmem_bytes, &metrics_),
       dma_(engine, cost_, host.memory(), &metrics_),
       scheduler_(engine, config.hpus, cost_, &metrics_) {
@@ -310,6 +311,7 @@ void NicModel::on_final_dma(std::uint64_t msg_id, sim::Time when) {
                         : (st.ctx != nullptr ? p4::EventKind::kUnpackComplete
                                              : p4::EventKind::kPut);
   host_->events().post(p4::Event{kind, msg_id, st.info.bytes, when});
+  if (on_msg_done_) on_msg_done_(msg_id, when);
 }
 
 }  // namespace netddt::spin

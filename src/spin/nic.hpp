@@ -4,6 +4,7 @@
 // (plain RDMA) data path for match entries without an execution context.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -39,6 +40,10 @@ class Host {
 struct NicConfig {
   std::uint32_t hpus = 16;
   std::uint64_t nicmem_bytes = 4ull << 20;  // scratchpad capacity
+  /// Matching-unit implementation (functional only — matching cost is
+  /// part of the per-packet NIC overhead either way, so both engines
+  /// produce identical simulated timing).
+  p4::MatchEngineKind match_engine = p4::MatchEngineKind::kHashed;
 };
 
 /// Packet staging buffer: packets copied into NIC memory wait here from
@@ -101,6 +106,14 @@ class NicModel {
     sim::Time processing_time = 0;
   };
   const MsgInfo* info(std::uint64_t msg_id) const;
+
+  /// Observer of message completion (fires from on_final_dma, after the
+  /// MsgInfo is final and the completion event was posted). The service
+  /// runner uses it to retire in-flight messages and admit queued work;
+  /// nullptr detaches.
+  using MsgDoneFn = std::function<void(std::uint64_t msg_id, sim::Time when)>;
+  void set_msg_done_callback(MsgDoneFn fn) { on_msg_done_ = std::move(fn); }
+
   PacketBufferStats packet_buffer() const {
     return PacketBufferStats{
         static_cast<std::uint64_t>(pkt_buffer_->value()),
@@ -147,6 +160,7 @@ class NicModel {
   // Declared before the components that publish into it.
   sim::MetricsRegistry metrics_;
   p4::MatchList match_list_;
+  MsgDoneFn on_msg_done_;
   NicMemory nic_memory_;
   DmaEngine dma_;
   Scheduler scheduler_;

@@ -1,0 +1,206 @@
+#include "spin/nic_memory.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace netddt::spin {
+namespace {
+
+class RejectPolicy final : public EvictionPolicy {
+ public:
+  std::uint64_t pick_victim(const std::vector<NicBlockInfo>&,
+                            std::uint64_t) override {
+    return NicMemory::kInvalid;
+  }
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kReject;
+  }
+};
+
+class LruPolicy final : public EvictionPolicy {
+ public:
+  std::uint64_t pick_victim(const std::vector<NicBlockInfo>& candidates,
+                            std::uint64_t) override {
+    const NicBlockInfo* victim = nullptr;
+    for (const auto& c : candidates) {
+      if (victim == nullptr || c.last_touch < victim->last_touch) {
+        victim = &c;
+      }
+    }
+    return victim == nullptr ? NicMemory::kInvalid : victim->handle;
+  }
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kLru;
+  }
+};
+
+class SizeWeightedPolicy final : public EvictionPolicy {
+ public:
+  std::uint64_t pick_victim(const std::vector<NicBlockInfo>& candidates,
+                            std::uint64_t) override {
+    const NicBlockInfo* victim = nullptr;
+    for (const auto& c : candidates) {
+      if (victim == nullptr || c.bytes > victim->bytes ||
+          (c.bytes == victim->bytes &&
+           c.last_touch < victim->last_touch)) {
+        victim = &c;
+      }
+    }
+    return victim == nullptr ? NicMemory::kInvalid : victim->handle;
+  }
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kSizeWeighted;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case EvictionPolicyKind::kSizeWeighted:
+      return std::make_unique<SizeWeightedPolicy>();
+    case EvictionPolicyKind::kReject: break;
+  }
+  return std::make_unique<RejectPolicy>();
+}
+
+void NicMemory::set_policy(std::unique_ptr<EvictionPolicy> policy) {
+  policy_ = std::move(policy);
+  if (policy_ != nullptr && blocks_metric_ == nullptr) {
+    blocks_metric_ = &metrics_->gauge("nic.mem.peak_blocks");
+    blocks_metric_->set(static_cast<std::int64_t>(blocks_.size()));
+  }
+}
+
+void NicMemory::note_blocks_changed() {
+  peak_blocks_ = std::max(peak_blocks_, blocks_.size());
+  if (blocks_metric_ != nullptr) {
+    blocks_metric_->set(static_cast<std::int64_t>(blocks_.size()));
+  }
+}
+
+NicMemory::Handle NicMemory::alloc(std::uint64_t bytes, std::string tag,
+                                   const AllocOptions& options) {
+  if (bytes > capacity_ - used()) {
+    // Try to make room; a request beyond total capacity can never fit,
+    // so do not evict the whole scratchpad on its behalf.
+    bool made_room = bytes <= capacity_;
+    while (made_room && bytes > capacity_ - used()) {
+      made_room = evict_for(bytes - (capacity_ - used()), options);
+    }
+    if (bytes > capacity_ - used()) {
+      alloc_failures_->add(1);
+      if (policy_ != nullptr) {
+        ++admission_rejects_;
+        if (rejects_metric_ == nullptr) {
+          rejects_metric_ = &metrics_->counter("nic.mem.admission_rejects");
+        }
+        rejects_metric_->add(1);
+      }
+      return kInvalid;
+    }
+  }
+  const Handle h = next_++;
+  Block block;
+  block.bytes = bytes;
+  block.tag = std::move(tag);
+  block.priority = options.priority;
+  block.evictable = options.evictable;
+  block.pinned = options.pinned;
+  block.last_touch = ++touch_clock_;
+  blocks_.emplace(h, std::move(block));
+  used_->add(static_cast<std::int64_t>(bytes));
+  allocs_->add(1);
+  if (bytes == 0) {
+    ++zero_byte_allocs_;
+    if (zero_metric_ == nullptr) {
+      zero_metric_ = &metrics_->counter("nic.mem.zero_byte_allocs");
+    }
+    zero_metric_->add(1);
+  }
+  note_blocks_changed();
+  return h;
+}
+
+bool NicMemory::evict_for(std::uint64_t need_bytes,
+                          const AllocOptions& options) {
+  if (policy_ == nullptr) return false;
+  std::vector<NicBlockInfo> candidates;
+  candidates.reserve(blocks_.size());
+  for (const auto& [h, b] : blocks_) {
+    if (!b.evictable || b.pinned || b.priority > options.priority) continue;
+    candidates.push_back(
+        NicBlockInfo{h, b.bytes, b.tag, b.priority, b.last_touch});
+  }
+  if (candidates.empty()) return false;
+  const Handle victim = policy_->pick_victim(candidates, need_bytes);
+  if (victim == kInvalid) return false;
+  const auto it = blocks_.find(victim);
+  const bool valid = it != blocks_.end() && it->second.evictable &&
+                     !it->second.pinned &&
+                     it->second.priority <= options.priority;
+  NETDDT_CHECK(valid, "eviction policy picked an ineligible victim: handle " +
+                          std::to_string(victim));
+  if (!valid) return false;
+  release(victim, /*evicted=*/true);
+  return true;
+}
+
+void NicMemory::release(Handle h, bool evicted) {
+  const auto it = blocks_.find(h);
+  NETDDT_CHECK(it != blocks_.end(),
+               "double free of NIC memory handle " + std::to_string(h));
+  if (it == blocks_.end()) return;
+  const std::string tag = std::move(it->second.tag);
+  used_->sub(static_cast<std::int64_t>(it->second.bytes));
+  frees_->add(1);
+  blocks_.erase(it);
+  note_blocks_changed();
+  if (evicted) {
+    ++evictions_;
+    if (evictions_metric_ == nullptr) {
+      evictions_metric_ = &metrics_->counter("nic.mem.evictions");
+    }
+    evictions_metric_->add(1);
+    if (on_evict_) on_evict_(h, tag);
+  }
+}
+
+void NicMemory::free(Handle h) {
+  if (h == kInvalid) return;
+  release(h, /*evicted=*/false);
+}
+
+void NicMemory::touch(Handle h) {
+  const auto it = blocks_.find(h);
+  NETDDT_CHECK(it != blocks_.end(),
+               "touch of unknown NIC memory handle " + std::to_string(h));
+  if (it == blocks_.end()) return;
+  it->second.last_touch = ++touch_clock_;
+}
+
+void NicMemory::pin(Handle h) {
+  const auto it = blocks_.find(h);
+  NETDDT_CHECK(it != blocks_.end(),
+               "pin of unknown NIC memory handle " + std::to_string(h));
+  if (it == blocks_.end()) return;
+  it->second.pinned = true;
+}
+
+void NicMemory::unpin(Handle h) {
+  const auto it = blocks_.find(h);
+  NETDDT_CHECK(it != blocks_.end(),
+               "unpin of unknown NIC memory handle " + std::to_string(h));
+  if (it == blocks_.end()) return;
+  it->second.pinned = false;
+}
+
+bool NicMemory::is_pinned(Handle h) const {
+  const auto it = blocks_.find(h);
+  return it != blocks_.end() && it->second.pinned;
+}
+
+}  // namespace netddt::spin

@@ -1,5 +1,5 @@
 #pragma once
-// NIC memory capacity accounting.
+// NIC memory capacity accounting with pluggable admission/eviction.
 //
 // Handler state (dataloops, checkpoints, iovec caches, per-vHPU segments)
 // must fit in the NIC's scratchpad. The simulator keeps that state in
@@ -8,21 +8,104 @@
 // selection, paper Sec 3.2.6), and so benchmarks can report occupancy
 // (paper Fig 13b/c). Occupancy and allocation outcomes are published
 // under the "nic.mem" metrics scope.
+//
+// Eviction is a policy object (EvictionPolicy): when an allocation does
+// not fit and a policy is installed, the allocator collects the
+// evictable, unpinned blocks whose priority does not exceed the
+// requester's and asks the policy for a victim, repeating until the
+// request fits or the policy refuses. Owners of evictable blocks learn
+// about evictions through a callback (handle + tag) so they can drop
+// their side of the state (the facade marks the plan non-resident).
+// Blocks carry touch/pin lifecycle hooks: touch() refreshes the LRU
+// stamp on reuse, pin()/unpin() fence a block against eviction while a
+// message is actively using it.
+//
+// Metrics: the four original metrics (nic.mem.used / allocs /
+// alloc_failures / frees) are registered eagerly, exactly as before.
+// Everything this refactor adds — nic.mem.evictions,
+// nic.mem.admission_rejects, nic.mem.zero_byte_allocs and the
+// nic.mem.peak_blocks gauge — registers lazily on the first event that
+// would make it visible, so a run that never installs a policy (every
+// pre-existing figure binary) publishes byte-identical JSON.
+//
+// Zero-byte allocations hold a handle and a tag like any other block.
+// They are invisible in byte occupancy by definition, so they are
+// counted separately (nic.mem.zero_byte_allocs, zero_byte_allocs()) and
+// show up in the block-count occupancy (allocations(), peak_blocks()).
 
-#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/metrics.hpp"
 
 namespace netddt::spin {
 
+enum class EvictionPolicyKind { kReject, kLru, kSizeWeighted };
+
+inline const char* eviction_policy_name(EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kReject: return "reject";
+    case EvictionPolicyKind::kLru: return "lru";
+    case EvictionPolicyKind::kSizeWeighted: return "size-weighted";
+  }
+  return "?";
+}
+
+inline std::optional<EvictionPolicyKind> parse_eviction_policy(
+    std::string_view name) {
+  if (name == "reject") return EvictionPolicyKind::kReject;
+  if (name == "lru") return EvictionPolicyKind::kLru;
+  if (name == "size-weighted") return EvictionPolicyKind::kSizeWeighted;
+  return std::nullopt;
+}
+
+/// What a policy sees of each eviction candidate. `last_touch` stamps are
+/// unique across live blocks (one global clock, bumped on every alloc
+/// and touch), so a policy that tie-breaks on it is deterministic even
+/// though the candidate vector's order is not specified.
+struct NicBlockInfo {
+  std::uint64_t handle = 0;
+  std::uint64_t bytes = 0;
+  std::string_view tag;
+  int priority = 0;
+  std::uint64_t last_touch = 0;
+};
+
+/// Victim selection. Candidates are pre-filtered (evictable, unpinned,
+/// priority <= requester's); return 0 (NicMemory::kInvalid) to refuse —
+/// the allocation then fails. Must be a pure function of the candidate
+/// *set* (see NicBlockInfo on determinism).
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual std::uint64_t pick_victim(
+      const std::vector<NicBlockInfo>& candidates,
+      std::uint64_t need_bytes) = 0;
+  virtual EvictionPolicyKind kind() const = 0;
+};
+
+/// kReject never evicts; kLru evicts the least-recently-touched
+/// candidate; kSizeWeighted evicts the largest candidate (oldest touch
+/// on ties) — fewest evictions per byte reclaimed.
+std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    EvictionPolicyKind kind);
+
 class NicMemory {
  public:
   using Handle = std::uint64_t;
   static constexpr Handle kInvalid = 0;
+
+  struct AllocOptions {
+    int priority = 0;      // requester's eviction-priority ceiling
+    bool evictable = false;  // may the policy reclaim this block?
+    bool pinned = false;     // start fenced against eviction
+  };
 
   /// Publishes under "nic.mem"; nullptr gets a private registry.
   explicit NicMemory(std::uint64_t capacity_bytes,
@@ -32,32 +115,48 @@ class NicMemory {
       local_metrics_ = std::make_unique<sim::MetricsRegistry>();
       metrics = local_metrics_.get();
     }
+    metrics_ = metrics;
     used_ = &metrics->gauge("nic.mem.used");
     allocs_ = &metrics->counter("nic.mem.allocs");
     alloc_failures_ = &metrics->counter("nic.mem.alloc_failures");
     frees_ = &metrics->counter("nic.mem.frees");
   }
 
-  /// Reserve `bytes`; returns kInvalid when it does not fit.
+  /// Reserve `bytes`; returns kInvalid when it does not fit and the
+  /// policy cannot (or will not) make room.
   Handle alloc(std::uint64_t bytes, std::string tag = {}) {
-    if (bytes > capacity_ - used()) {
-      alloc_failures_->add(1);
-      return kInvalid;
-    }
-    const Handle h = next_++;
-    blocks_.emplace(h, Block{bytes, std::move(tag)});
-    used_->add(static_cast<std::int64_t>(bytes));
-    allocs_->add(1);
-    return h;
+    return alloc(bytes, std::move(tag), AllocOptions());
+  }
+  Handle alloc(std::uint64_t bytes, std::string tag,
+               const AllocOptions& options);
+
+  /// Release; double frees raise a NETDDT_CHECK violation naming the
+  /// handle (and are a safe no-op with the checker off).
+  void free(Handle h);
+
+  /// Refresh the block's recency stamp (LRU input) — call on every
+  /// reuse of cached state.
+  void touch(Handle h);
+  /// Fence the block against eviction while a message actively uses it.
+  void pin(Handle h);
+  void unpin(Handle h);
+  bool is_pinned(Handle h) const;
+
+  /// Install the admission/eviction policy (nullptr restores the
+  /// original reject-on-full behavior). Registers the
+  /// nic.mem.peak_blocks gauge.
+  void set_policy(std::unique_ptr<EvictionPolicy> policy);
+  EvictionPolicyKind policy_kind() const {
+    return policy_ == nullptr ? EvictionPolicyKind::kReject
+                              : policy_->kind();
   }
 
-  void free(Handle h) {
-    if (h == kInvalid) return;
-    auto it = blocks_.find(h);
-    assert(it != blocks_.end() && "double free of NIC memory");
-    used_->sub(static_cast<std::int64_t>(it->second.bytes));
-    frees_->add(1);
-    blocks_.erase(it);
+  /// Invoked after a block is evicted (it is already gone — do not
+  /// free() it). The callback must not call back into alloc().
+  using EvictionCallback =
+      std::function<void(Handle, const std::string& tag)>;
+  void set_eviction_callback(EvictionCallback cb) {
+    on_evict_ = std::move(cb);
   }
 
   std::uint64_t bytes_of(Handle h) const {
@@ -74,21 +173,50 @@ class NicMemory {
   }
   std::uint64_t available() const { return capacity_ - used(); }
   std::size_t allocations() const { return blocks_.size(); }
+  std::size_t peak_blocks() const { return peak_blocks_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t admission_rejects() const { return admission_rejects_; }
+  std::uint64_t zero_byte_allocs() const { return zero_byte_allocs_; }
 
  private:
   struct Block {
-    std::uint64_t bytes;
+    std::uint64_t bytes = 0;
     std::string tag;
+    int priority = 0;
+    bool evictable = false;
+    bool pinned = false;
+    std::uint64_t last_touch = 0;
   };
+
+  /// One eviction round: gather candidates for `options`, ask the
+  /// policy, evict the victim. False when no progress is possible.
+  bool evict_for(std::uint64_t need_bytes, const AllocOptions& options);
+  void release(Handle h, bool evicted);
+  void note_blocks_changed();
+
   std::uint64_t capacity_;
   Handle next_ = 1;
   std::unordered_map<Handle, Block> blocks_;
+  std::uint64_t touch_clock_ = 0;
+  std::size_t peak_blocks_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t admission_rejects_ = 0;
+  std::uint64_t zero_byte_allocs_ = 0;
+
+  std::unique_ptr<EvictionPolicy> policy_;
+  EvictionCallback on_evict_;
 
   std::unique_ptr<sim::MetricsRegistry> local_metrics_;
+  sim::MetricsRegistry* metrics_;
   sim::Gauge* used_;              // nic.mem.used
   sim::Counter* allocs_;          // nic.mem.allocs
   sim::Counter* alloc_failures_;  // nic.mem.alloc_failures
   sim::Counter* frees_;           // nic.mem.frees
+  // Lazy (see header comment): absent until the first triggering event.
+  sim::Counter* evictions_metric_ = nullptr;   // nic.mem.evictions
+  sim::Counter* rejects_metric_ = nullptr;     // nic.mem.admission_rejects
+  sim::Counter* zero_metric_ = nullptr;        // nic.mem.zero_byte_allocs
+  sim::Gauge* blocks_metric_ = nullptr;        // nic.mem.peak_blocks
 };
 
 }  // namespace netddt::spin

@@ -1,0 +1,41 @@
+# CTest script: the hashed match engine must be a pure drop-in for the
+# linear reference — run_all --smoke with --match-engine hashed vs
+# --match-engine linear, stdout and JSON byte-compared. Matching is
+# functional in the simulation (the cost model folds the matching unit
+# into per-packet NIC overhead), so which engine searches must never
+# change a byte of any figure's output.
+#
+# Invoked as:
+#   cmake -DRUN_ALL=<path-to-run_all> -DWORK_DIR=<scratch> -P engine_equality.cmake
+
+if(NOT RUN_ALL OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DRUN_ALL=... -DWORK_DIR=... -P engine_equality.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/hashed" "${WORK_DIR}/linear")
+
+foreach(engine hashed linear)
+  execute_process(
+    COMMAND "${RUN_ALL}" --smoke --match-engine ${engine} --json report.json
+    WORKING_DIRECTORY "${WORK_DIR}/${engine}"
+    OUTPUT_FILE stdout.txt
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "run_all --match-engine ${engine} failed with ${rc}")
+  endif()
+endforeach()
+
+foreach(f stdout.txt report.json)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/hashed/${f}" "${WORK_DIR}/linear/${f}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "hashed engine output diverges from linear in ${f}: "
+            "${WORK_DIR}/hashed/${f} vs ${WORK_DIR}/linear/${f}")
+  endif()
+endforeach()
+
+message(STATUS "engine equality: hashed and linear output byte-identical")

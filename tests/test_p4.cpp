@@ -11,6 +11,8 @@
 #include "p4/match.hpp"
 #include "p4/packet.hpp"
 #include "p4/put.hpp"
+#include "sim/check.hpp"
+#include "sim/rng.hpp"
 
 namespace netddt::p4 {
 namespace {
@@ -23,8 +25,19 @@ MatchEntry me(std::uint64_t bits, std::uint64_t ignore = 0) {
   return e;
 }
 
-TEST(Matching, ExactBitsMatch) {
-  MatchList ml;
+// Every matching-semantics test runs against both engines: the linear
+// reference scan and the hashed default must be indistinguishable.
+class Matching : public ::testing::TestWithParam<MatchEngineKind> {
+ protected:
+  MatchList ml{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, Matching,
+    ::testing::Values(MatchEngineKind::kLinear, MatchEngineKind::kHashed),
+    [](const auto& info) { return match_engine_name(info.param); });
+
+TEST_P(Matching, ExactBitsMatch) {
   ml.append(ListKind::kPriority, me(0xCAFE));
   auto hit = ml.match(0xCAFE);
   ASSERT_TRUE(hit.has_value());
@@ -32,21 +45,18 @@ TEST(Matching, ExactBitsMatch) {
   EXPECT_FALSE(ml.match(0xCAFE).has_value()) << "use_once entry must unlink";
 }
 
-TEST(Matching, MismatchReturnsNothing) {
-  MatchList ml;
+TEST_P(Matching, MismatchReturnsNothing) {
   ml.append(ListKind::kPriority, me(0xCAFE));
   EXPECT_FALSE(ml.match(0xBEEF).has_value());
   EXPECT_EQ(ml.priority_size(), 1u);
 }
 
-TEST(Matching, IgnoreBitsMaskCompare) {
-  MatchList ml;
+TEST_P(Matching, IgnoreBitsMaskCompare) {
   ml.append(ListKind::kPriority, me(0xAB00, 0x00FF));
   EXPECT_TRUE(ml.match(0xAB42).has_value());
 }
 
-TEST(Matching, PrioritySearchedBeforeOverflow) {
-  MatchList ml;
+TEST_P(Matching, PrioritySearchedBeforeOverflow) {
   MatchEntry pri = me(7);
   pri.buffer_offset = 111;
   MatchEntry ovf = me(7);
@@ -59,16 +69,14 @@ TEST(Matching, PrioritySearchedBeforeOverflow) {
   EXPECT_EQ(hit->list, ListKind::kPriority);
 }
 
-TEST(Matching, OverflowUsedAsFallback) {
-  MatchList ml;
+TEST_P(Matching, OverflowUsedAsFallback) {
   ml.append(ListKind::kOverflow, me(7));
   auto hit = ml.match(7);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->list, ListKind::kOverflow);
 }
 
-TEST(Matching, FifoOrderWithinList) {
-  MatchList ml;
+TEST_P(Matching, FifoOrderWithinList) {
   MatchEntry a = me(9), b = me(9);
   a.buffer_offset = 1;
   b.buffer_offset = 2;
@@ -78,8 +86,7 @@ TEST(Matching, FifoOrderWithinList) {
   EXPECT_EQ(ml.match(9)->entry.buffer_offset, 2);
 }
 
-TEST(Matching, PersistentEntryMatchesRepeatedly) {
-  MatchList ml;
+TEST_P(Matching, PersistentEntryMatchesRepeatedly) {
   MatchEntry e = me(5);
   e.use_once = false;
   ml.append(ListKind::kPriority, e);
@@ -88,12 +95,125 @@ TEST(Matching, PersistentEntryMatchesRepeatedly) {
   EXPECT_EQ(ml.priority_size(), 1u);
 }
 
-TEST(Matching, UnlinkByHandle) {
-  MatchList ml;
+TEST_P(Matching, UnlinkByHandle) {
   const auto id = ml.append(ListKind::kPriority, me(3));
   EXPECT_TRUE(ml.unlink(id));
   EXPECT_FALSE(ml.unlink(id));
   EXPECT_FALSE(ml.match(3).has_value());
+}
+
+TEST_P(Matching, UnlinkAfterUseOnceMatchReturnsFalse) {
+  // The NIC retains a matched use_once entry for the message's lifetime
+  // and unlinks by handle at completion; the engine-side unlink already
+  // happened at match time and must report "gone" without damage.
+  const auto id = ml.append(ListKind::kPriority, me(11));
+  ASSERT_TRUE(ml.match(11).has_value());
+  EXPECT_FALSE(ml.unlink(id));
+  EXPECT_EQ(ml.priority_size(), 0u);
+}
+
+TEST_P(Matching, FifoAcrossIgnoreMaskOverlap) {
+  // A wildcard (ignore low byte) and an exact entry both match 0xAB42.
+  // Append order decides — the hashed engine keeps these in different
+  // mask classes, so this pins its cross-class sequence arbitration.
+  MatchEntry wild = me(0xAB00, 0x00FF);
+  wild.buffer_offset = 1;
+  MatchEntry exact = me(0xAB42);
+  exact.buffer_offset = 2;
+  ml.append(ListKind::kPriority, wild);
+  ml.append(ListKind::kPriority, exact);
+  EXPECT_EQ(ml.match(0xAB42)->entry.buffer_offset, 1);
+  EXPECT_EQ(ml.match(0xAB42)->entry.buffer_offset, 2);
+
+  // And the other append order.
+  MatchEntry exact2 = me(0xCD42);
+  exact2.buffer_offset = 3;
+  MatchEntry wild2 = me(0xCD00, 0x00FF);
+  wild2.buffer_offset = 4;
+  ml.append(ListKind::kPriority, exact2);
+  ml.append(ListKind::kPriority, wild2);
+  EXPECT_EQ(ml.match(0xCD42)->entry.buffer_offset, 3);
+  EXPECT_EQ(ml.match(0xCD42)->entry.buffer_offset, 4);
+}
+
+TEST_P(Matching, PriorityExhaustedBeforeOverflowWildcard) {
+  // An older overflow wildcard must still lose to a younger priority
+  // entry: list precedence beats append age.
+  MatchEntry wild = me(0, ~std::uint64_t{0});  // matches anything
+  wild.buffer_offset = 1;
+  ml.append(ListKind::kOverflow, wild);
+  MatchEntry pri = me(0x77);
+  pri.buffer_offset = 2;
+  ml.append(ListKind::kPriority, pri);
+  auto hit = ml.match(0x77);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->entry.buffer_offset, 2);
+  EXPECT_EQ(hit->list, ListKind::kPriority);
+  // Priority now empty -> the wildcard catches the next packet.
+  EXPECT_EQ(ml.match(0x77)->entry.buffer_offset, 1);
+}
+
+TEST_P(Matching, SizesTrackAppendUnlinkAndMatch) {
+  const auto a = ml.append(ListKind::kPriority, me(1));
+  ml.append(ListKind::kPriority, me(2));
+  ml.append(ListKind::kOverflow, me(3));
+  EXPECT_EQ(ml.priority_size(), 2u);
+  EXPECT_EQ(ml.overflow_size(), 1u);
+  EXPECT_TRUE(ml.unlink(a));
+  EXPECT_EQ(ml.priority_size(), 1u);
+  ASSERT_TRUE(ml.match(3).has_value());
+  EXPECT_EQ(ml.overflow_size(), 0u);
+}
+
+TEST_P(Matching, AppendWithPresetIdViolatesCheck) {
+  sim::check::ScopedEnable checks(true);
+  MatchEntry e = me(1);
+  e.id = 42;  // handles are assigned by the MatchList, never the caller
+  EXPECT_THROW(ml.append(ListKind::kPriority, e), sim::check::Violation);
+}
+
+// Differential: a random operation mix must leave both engines in
+// lock-step — same hits (entry identity and list), same misses, same
+// unlink outcomes, same sizes after every step.
+TEST(MatchingDifferential, RandomOpsLinearVsHashed) {
+  MatchList lin(MatchEngineKind::kLinear);
+  MatchList hsh(MatchEngineKind::kHashed);
+  sim::Rng rng(2026);
+  // Small pools of bits/masks so matches, misses, and mask-class
+  // overlaps all happen often.
+  const std::uint64_t bit_pool[] = {0x10, 0x11, 0x20, 0x21, 0xFF00, 0xFF42};
+  const std::uint64_t mask_pool[] = {0, 0, 0x00FF, ~std::uint64_t{0}};
+  std::vector<std::uint64_t> ids;  // parallel handles (same assignment order)
+  for (int step = 0; step < 4000; ++step) {
+    const double op = rng.uniform();
+    if (op < 0.45) {
+      MatchEntry e = me(bit_pool[rng.below(6)],
+                        mask_pool[rng.below(4)]);
+      e.use_once = rng.uniform() < 0.7;
+      e.buffer_offset = step;  // identity marker
+      const auto list =
+          rng.uniform() < 0.8 ? ListKind::kPriority : ListKind::kOverflow;
+      const auto id_l = lin.append(list, e);
+      const auto id_h = hsh.append(list, e);
+      ASSERT_EQ(id_l, id_h);
+      ids.push_back(id_l);
+    } else if (op < 0.9) {
+      const std::uint64_t bits = bit_pool[rng.below(6)];
+      const auto hit_l = lin.match(bits);
+      const auto hit_h = hsh.match(bits);
+      ASSERT_EQ(hit_l.has_value(), hit_h.has_value()) << "step " << step;
+      if (hit_l) {
+        EXPECT_EQ(hit_l->entry.id, hit_h->entry.id) << "step " << step;
+        EXPECT_EQ(hit_l->entry.buffer_offset, hit_h->entry.buffer_offset);
+        EXPECT_EQ(hit_l->list, hit_h->list);
+      }
+    } else if (!ids.empty()) {
+      const auto id = ids[rng.below(ids.size())];
+      EXPECT_EQ(lin.unlink(id), hsh.unlink(id)) << "step " << step;
+    }
+    ASSERT_EQ(lin.priority_size(), hsh.priority_size()) << "step " << step;
+    ASSERT_EQ(lin.overflow_size(), hsh.overflow_size()) << "step " << step;
+  }
 }
 
 TEST(Packetize, SplitsAtPayloadBoundary) {

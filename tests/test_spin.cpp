@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "p4/put.hpp"
+#include "sim/check.hpp"
 #include "sim/engine.hpp"
 #include "spin/link.hpp"
 #include "spin/nic.hpp"
+#include "spin/nic_memory.hpp"
 
 namespace netddt::spin {
 namespace {
@@ -34,6 +36,130 @@ TEST(NicMemory, AllocFreeAccounting) {
   EXPECT_EQ(mem.used(), 600u);
   EXPECT_EQ(mem.peak(), 1000u);
   EXPECT_NE(mem.alloc(300, "d"), NicMemory::kInvalid);
+}
+
+TEST(NicMemory, DoubleFreeViolatesCheck) {
+  NicMemory mem(1000);
+  const auto a = mem.alloc(100, "a");
+  mem.free(a);
+  {
+    sim::check::ScopedEnable checks(true);
+    EXPECT_THROW(mem.free(a), sim::check::Violation);
+  }
+  mem.free(a);  // checker off: safe no-op
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(NicMemory, ZeroByteAllocsCountedSeparately) {
+  NicMemory mem(1000);
+  const auto z = mem.alloc(0, "marker");
+  ASSERT_NE(z, NicMemory::kInvalid);
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.zero_byte_allocs(), 1u);
+  EXPECT_EQ(mem.allocations(), 1u);
+  mem.free(z);
+  EXPECT_EQ(mem.allocations(), 0u);
+  EXPECT_EQ(mem.zero_byte_allocs(), 1u) << "counter, not a gauge";
+}
+
+TEST(NicMemory, PeakBlocksTracksHighWaterMark) {
+  NicMemory mem(1000);
+  const auto a = mem.alloc(100, "a");
+  const auto b = mem.alloc(100, "b");
+  mem.free(a);
+  const auto c = mem.alloc(100, "c");
+  EXPECT_EQ(mem.peak_blocks(), 2u);
+  mem.free(b);
+  mem.free(c);
+  EXPECT_EQ(mem.peak_blocks(), 2u);
+}
+
+TEST(NicMemory, RejectPolicyNeverEvicts) {
+  NicMemory mem(1000);
+  mem.set_policy(make_eviction_policy(EvictionPolicyKind::kReject));
+  mem.alloc(800, "a", {.evictable = true});
+  EXPECT_EQ(mem.alloc(400, "b"), NicMemory::kInvalid);
+  EXPECT_EQ(mem.evictions(), 0u);
+  EXPECT_EQ(mem.admission_rejects(), 1u);
+}
+
+TEST(NicMemory, LruEvictsLeastRecentlyTouched) {
+  NicMemory mem(1000);
+  mem.set_policy(make_eviction_policy(EvictionPolicyKind::kLru));
+  std::vector<std::string> evicted;
+  mem.set_eviction_callback(
+      [&](NicMemory::Handle, const std::string& tag) {
+        evicted.push_back(tag);
+      });
+  const auto a = mem.alloc(400, "a", {.evictable = true});
+  mem.alloc(400, "b", {.evictable = true});
+  mem.touch(a);  // b is now the LRU block
+  ASSERT_NE(mem.alloc(500, "c"), NicMemory::kInvalid);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "b");
+  EXPECT_EQ(mem.evictions(), 1u);
+}
+
+TEST(NicMemory, SizeWeightedEvictsLargestFirst) {
+  NicMemory mem(1000);
+  mem.set_policy(make_eviction_policy(EvictionPolicyKind::kSizeWeighted));
+  std::vector<std::string> evicted;
+  mem.set_eviction_callback(
+      [&](NicMemory::Handle, const std::string& tag) {
+        evicted.push_back(tag);
+      });
+  mem.alloc(200, "small", {.evictable = true});
+  mem.alloc(600, "large", {.evictable = true});
+  ASSERT_NE(mem.alloc(500, "new"), NicMemory::kInvalid);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "large") << "one large eviction beats two small";
+  EXPECT_EQ(mem.used(), 700u);
+}
+
+TEST(NicMemory, PinFencesAgainstEviction) {
+  NicMemory mem(1000);
+  mem.set_policy(make_eviction_policy(EvictionPolicyKind::kLru));
+  const auto a = mem.alloc(600, "a", {.evictable = true});
+  mem.pin(a);
+  EXPECT_TRUE(mem.is_pinned(a));
+  EXPECT_EQ(mem.alloc(600, "b"), NicMemory::kInvalid);
+  EXPECT_EQ(mem.evictions(), 0u);
+  mem.unpin(a);
+  ASSERT_NE(mem.alloc(600, "b"), NicMemory::kInvalid);
+  EXPECT_EQ(mem.evictions(), 1u);
+}
+
+TEST(NicMemory, PriorityCeilingLimitsVictims) {
+  NicMemory mem(1000);
+  mem.set_policy(make_eviction_policy(EvictionPolicyKind::kLru));
+  mem.alloc(800, "vip", {.priority = 5, .evictable = true});
+  // A low-priority requester may not evict the high-priority block...
+  EXPECT_EQ(mem.alloc(400, "low", {.priority = 0}), NicMemory::kInvalid);
+  EXPECT_EQ(mem.evictions(), 0u);
+  // ...but an equal-priority one may.
+  ASSERT_NE(mem.alloc(400, "peer", {.priority = 5}), NicMemory::kInvalid);
+  EXPECT_EQ(mem.evictions(), 1u);
+}
+
+TEST(NicMemory, OversizedRequestFailsWithoutEvicting) {
+  NicMemory mem(1000);
+  mem.set_policy(make_eviction_policy(EvictionPolicyKind::kLru));
+  mem.alloc(400, "a", {.evictable = true});
+  EXPECT_EQ(mem.alloc(2000, "huge"), NicMemory::kInvalid);
+  EXPECT_EQ(mem.evictions(), 0u) << "cannot ever fit: evicting is waste";
+  EXPECT_EQ(mem.used(), 400u);
+}
+
+TEST(NicMemory, LazyMetricsAbsentWithoutPolicyOrEvent) {
+  sim::MetricsRegistry reg;
+  NicMemory mem(1000, &reg);
+  mem.alloc(100, "a");
+  const auto snap = reg.snapshot();
+  EXPECT_NE(snap.counters.count("nic.mem.allocs"), 0u);
+  EXPECT_EQ(snap.counters.count("nic.mem.evictions"), 0u);
+  EXPECT_EQ(snap.counters.count("nic.mem.admission_rejects"), 0u);
+  EXPECT_EQ(snap.counters.count("nic.mem.zero_byte_allocs"), 0u);
+  EXPECT_EQ(snap.gauges.count("nic.mem.peak_blocks"), 0u);
 }
 
 TEST(Dma, WritesLandInHostMemory) {
