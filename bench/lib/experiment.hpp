@@ -114,11 +114,14 @@ class Params {
   /// TraceConfig for a simulation run under the current flags: events
   /// when --trace was given (stats ride along so the exported document
   /// carries stage summaries), stats alone for --percentiles, all-off
-  /// otherwise — the zero-cost default.
+  /// otherwise — the zero-cost default. Any observed run also keeps the
+  /// blame ledger, so traces and percentile reports always carry the
+  /// critical-path decomposition.
   sim::trace::TraceConfig trace_config() const {
     sim::trace::TraceConfig tc;
     tc.events = trace_path.has_value();
     tc.stats = tc.events || percentiles;
+    tc.blame = tc.events || tc.stats;
     if (trace_limit) tc.max_events = static_cast<std::size_t>(*trace_limit);
     return tc;
   }

@@ -172,16 +172,16 @@ void Report::print() const {
   for (const auto& t : tables_) t.print();
   if (have_stages_) {
     std::printf("\nper-stage latency percentiles  (ns, merged over runs)\n");
-    std::printf("  %-16s %10s %12s %12s %12s %12s\n", "stage", "count",
-                "p50", "p90", "p99", "max");
+    std::printf("  %-16s %10s %12s %12s %12s %12s %12s\n", "stage", "count",
+                "p50", "p90", "p99", "p99.9", "max");
     for (std::size_t i = 0; i < sim::trace::kStageCount; ++i) {
       const auto& h = stages_[i];
       if (h.count() == 0) continue;
-      std::printf("  %-16s %10llu %12.1f %12.1f %12.1f %12.1f\n",
+      std::printf("  %-16s %10llu %12.1f %12.1f %12.1f %12.1f %12.1f\n",
                   sim::trace::stage_name(static_cast<sim::trace::Stage>(i)),
                   static_cast<unsigned long long>(h.count()),
                   h.percentile(50) / 1e3, h.percentile(90) / 1e3,
-                  h.percentile(99) / 1e3,
+                  h.percentile(99) / 1e3, h.percentile(99.9) / 1e3,
                   static_cast<double>(h.max()) / 1e3);
     }
   }
@@ -238,6 +238,7 @@ Json Report::to_json() const {
       s["p50_ps"] = Json{h.percentile(50)};
       s["p90_ps"] = Json{h.percentile(90)};
       s["p99_ps"] = Json{h.percentile(99)};
+      s["p999_ps"] = Json{h.percentile(99.9)};
       s["max_ps"] = Json{h.max()};
       s["mean_ps"] = Json{h.mean()};
       stages[sim::trace::stage_name(static_cast<sim::trace::Stage>(i))] =

@@ -197,7 +197,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    out << "{\n  \"benchmark\": \"match_perf\",\n  \"unit\": \"ops/s\",\n"
+    out << "{\n  \"schema_version\": 1,\n"
+        << "  \"benchmark\": \"match_perf\",\n  \"unit\": \"ops/s\",\n"
         << "  \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];

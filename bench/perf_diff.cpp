@@ -1,0 +1,294 @@
+// perf_diff: compare two schema-versioned benchmark/report JSON files
+// and gate CI on per-metric thresholds.
+//
+// Both documents are flattened to dotted paths ("rows.2.hashed",
+// "experiments.0.counters.nic.dma.writes") and every leaf is compared
+// under the first matching rule:
+//
+//   perf_diff BASELINE CURRENT [--rule GLOB=DIR[:TOL]]... [--default DIR[:TOL]]
+//
+//   DIR    higher  bigger is better; fail when current < base*(1-TOL)
+//          lower   smaller is better; fail when current > base*(1+TOL)
+//          equal   fail when |current-base| > TOL*max(|base|, 1e-12)
+//          ignore  skip the metric entirely
+//   TOL    relative tolerance fraction, default 0 (exact)
+//   GLOB   matched against the dotted path; '*' spans any characters
+//          (dots included), '?' one character; first --rule wins, and
+//          --default (default "equal:0") applies when none match.
+//
+// Exit codes, for CI gating:
+//   0  every compared metric within threshold
+//   1  at least one metric regressed
+//   2  usage / unreadable / unparsable input
+//   3  schema mismatch: differing schema_version, a baseline metric
+//      missing from the current document, or a changed string value
+//      (renamed row labels are a schema change, not a regression).
+//      Metrics matched by an `ignore` rule never trigger this.
+//
+// Metrics that are new in the current document are reported but do not
+// fail the gate — adding coverage must not require touching baselines.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/lib/json.hpp"
+
+using netddt::bench::Json;
+
+namespace {
+
+enum class Dir { kHigher, kLower, kEqual, kIgnore };
+
+struct Rule {
+  std::string glob;
+  Dir dir = Dir::kEqual;
+  double tol = 0.0;
+};
+
+// Leaf value: a number or a string (row labels, generator tags).
+struct Leaf {
+  bool numeric = false;
+  double num = 0.0;
+  std::string str;
+};
+
+void flatten(const Json& node, const std::string& path,
+             std::map<std::string, Leaf>& out) {
+  if (node.is_object()) {
+    for (const auto& [key, value] : node.members()) {
+      flatten(value, path.empty() ? key : path + "." + key, out);
+    }
+  } else if (node.is_array()) {
+    for (std::size_t i = 0; i < node.items().size(); ++i) {
+      flatten(node.items()[i], path + "." + std::to_string(i), out);
+    }
+  } else if (node.is_number()) {
+    out[path] = Leaf{true, node.as_double(), {}};
+  } else if (node.is_string()) {
+    out[path] = Leaf{false, 0.0, node.as_string()};
+  }
+  // null / bool leaves carry no comparable payload; skipped.
+}
+
+// Classic glob over the full dotted path; '*' spans dots.
+bool glob_match(const char* pattern, const char* text) {
+  const char* star_p = nullptr;
+  const char* star_t = nullptr;
+  while (*text != '\0') {
+    if (*pattern == *text || *pattern == '?') {
+      ++pattern;
+      ++text;
+    } else if (*pattern == '*') {
+      star_p = pattern++;
+      star_t = text;
+    } else if (star_p != nullptr) {
+      pattern = star_p + 1;
+      text = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (*pattern == '*') ++pattern;
+  return *pattern == '\0';
+}
+
+std::optional<Rule> parse_spec(const std::string& glob,
+                               const std::string& spec) {
+  Rule r;
+  r.glob = glob;
+  std::string dir = spec;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    dir = spec.substr(0, colon);
+    try {
+      r.tol = std::stod(spec.substr(colon + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+    if (!(r.tol >= 0.0)) return std::nullopt;
+  }
+  if (dir == "higher") {
+    r.dir = Dir::kHigher;
+  } else if (dir == "lower") {
+    r.dir = Dir::kLower;
+  } else if (dir == "equal") {
+    r.dir = Dir::kEqual;
+  } else if (dir == "ignore") {
+    r.dir = Dir::kIgnore;
+  } else {
+    return std::nullopt;
+  }
+  return r;
+}
+
+std::optional<Json> load(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return Json::parse(ss.str());
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE CURRENT [--rule GLOB=DIR[:TOL]]... "
+               "[--default DIR[:TOL]]\n"
+               "       DIR: higher | lower | equal | ignore\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* base_path = nullptr;
+  const char* cur_path = nullptr;
+  std::vector<Rule> rules;
+  Rule fallback;  // equal:0
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
+      const std::string arg = argv[++i];
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) return usage(argv[0]);
+      const auto rule = parse_spec(arg.substr(0, eq), arg.substr(eq + 1));
+      if (!rule) return usage(argv[0]);
+      rules.push_back(*rule);
+    } else if (std::strcmp(argv[i], "--default") == 0 && i + 1 < argc) {
+      const auto rule = parse_spec("*", argv[++i]);
+      if (!rule) return usage(argv[0]);
+      fallback = *rule;
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (cur_path == nullptr) {
+      cur_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (base_path == nullptr || cur_path == nullptr) return usage(argv[0]);
+
+  const auto base_doc = load(base_path);
+  if (!base_doc) {
+    std::fprintf(stderr, "perf_diff: cannot read/parse %s\n", base_path);
+    return 2;
+  }
+  const auto cur_doc = load(cur_path);
+  if (!cur_doc) {
+    std::fprintf(stderr, "perf_diff: cannot read/parse %s\n", cur_path);
+    return 2;
+  }
+
+  // Version gate. A baseline written before versioning (no
+  // schema_version key) accepts any current document; once the baseline
+  // is versioned, the current document must carry the same version.
+  const Json* base_ver =
+      base_doc->is_object() ? base_doc->find("schema_version") : nullptr;
+  const Json* cur_ver =
+      cur_doc->is_object() ? cur_doc->find("schema_version") : nullptr;
+  if (base_ver != nullptr) {
+    if (cur_ver == nullptr ||
+        base_ver->as_int() != cur_ver->as_int()) {
+      std::fprintf(stderr,
+                   "perf_diff: schema_version mismatch: baseline %lld vs "
+                   "current %s\n",
+                   static_cast<long long>(base_ver->as_int()),
+                   cur_ver == nullptr
+                       ? "<missing>"
+                       : std::to_string(cur_ver->as_int()).c_str());
+      return 3;
+    }
+  }
+
+  std::map<std::string, Leaf> base, cur;
+  flatten(*base_doc, "", base);
+  flatten(*cur_doc, "", cur);
+
+  auto rule_for = [&](const std::string& path) -> const Rule& {
+    for (const Rule& r : rules) {
+      if (glob_match(r.glob.c_str(), path.c_str())) return r;
+    }
+    return fallback;
+  };
+
+  int worst = 0;
+  std::size_t compared = 0, ignored = 0, fresh = 0;
+  auto fail = [&](int code) { worst = std::max(worst, code); };
+
+  for (const auto& [path, b] : base) {
+    if (path == "schema_version") continue;  // handled above
+    const Rule& rule = rule_for(path);
+    if (rule.dir == Dir::kIgnore) {
+      ++ignored;
+      continue;
+    }
+    const auto it = cur.find(path);
+    if (it == cur.end()) {
+      std::fprintf(stderr,
+                   "perf_diff: %s present in baseline, missing from "
+                   "current (schema change)\n",
+                   path.c_str());
+      fail(3);
+      continue;
+    }
+    const Leaf& c = it->second;
+    if (b.numeric != c.numeric ||
+        (!b.numeric && b.str != c.str)) {
+      std::fprintf(stderr,
+                   "perf_diff: %s changed kind or label (\"%s\" -> \"%s\") "
+                   "(schema change)\n",
+                   path.c_str(), b.numeric ? "<number>" : b.str.c_str(),
+                   c.numeric ? "<number>" : c.str.c_str());
+      fail(3);
+      continue;
+    }
+    if (!b.numeric) continue;  // identical strings: nothing to gate
+    ++compared;
+    bool ok = true;
+    switch (rule.dir) {
+      case Dir::kHigher:
+        ok = c.num >= b.num * (1.0 - rule.tol);
+        break;
+      case Dir::kLower:
+        ok = c.num <= b.num * (1.0 + rule.tol);
+        break;
+      case Dir::kEqual:
+        ok = std::fabs(c.num - b.num) <=
+             rule.tol * std::max(std::fabs(b.num), 1e-12);
+        break;
+      case Dir::kIgnore:
+        break;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "perf_diff: REGRESSION %s: baseline %.6g -> current "
+                   "%.6g (%s:%g)\n",
+                   path.c_str(), b.num, c.num,
+                   rule.dir == Dir::kHigher  ? "higher"
+                   : rule.dir == Dir::kLower ? "lower"
+                                             : "equal",
+                   rule.tol);
+      fail(1);
+    }
+  }
+  for (const auto& [path, c] : cur) {
+    (void)c;
+    if (base.count(path) == 0 && rule_for(path).dir != Dir::kIgnore) {
+      ++fresh;
+    }
+  }
+
+  std::printf(
+      "perf_diff: %zu metric(s) compared, %zu ignored, %zu new in "
+      "current; %s\n",
+      compared, ignored, fresh,
+      worst == 0   ? "PASS"
+      : worst == 1 ? "REGRESSION"
+                   : "SCHEMA MISMATCH");
+  return worst;
+}

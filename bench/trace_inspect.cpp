@@ -34,6 +34,13 @@ struct Event {
   std::string name;
   std::int64_t msg = -1;
   std::int64_t pkt = -1;
+  double value = 0;  // counter sample ('C' events only)
+};
+
+struct CounterStats {
+  std::uint64_t count = 0;
+  double first = 0, last = 0, min = 0, max = 0;
+  double last_ts = -1;  // monotonicity check
 };
 
 struct SpanStats {
@@ -50,16 +57,22 @@ double get_num(const Json& obj, const char* key, double def = 0) {
 
 void print_stage_table(const std::string& run, const Json& stages) {
   std::printf("\n%s  (per-stage latency, us)\n", run.c_str());
-  std::printf("  %-16s %10s %12s %12s %12s %12s\n", "stage", "count", "p50",
-              "p90", "p99", "max");
+  std::printf("  %-16s %10s %12s %12s %12s %12s %12s\n", "stage", "count",
+              "p50", "p90", "p99", "p99.9", "max");
   for (const auto& [stage, s] : stages.members()) {
     if (!s.is_object()) continue;  // dropped_events
     const auto count = static_cast<std::uint64_t>(get_num(s, "count"));
     if (count == 0) continue;
-    std::printf("  %-16s %10llu %12.3f %12.3f %12.3f %12.3f\n",
-                stage.c_str(), static_cast<unsigned long long>(count),
+    std::printf("  %-16s %10llu %12.3f %12.3f %12.3f", stage.c_str(),
+                static_cast<unsigned long long>(count),
                 get_num(s, "p50_ps") / 1e6, get_num(s, "p90_ps") / 1e6,
-                get_num(s, "p99_ps") / 1e6, get_num(s, "max_ps") / 1e6);
+                get_num(s, "p99_ps") / 1e6);
+    if (s.contains("p999_ps")) {
+      std::printf(" %12.3f", get_num(s, "p999_ps") / 1e6);
+    } else {
+      std::printf(" %12s", "-");  // document predates the p99.9 column
+    }
+    std::printf(" %12.3f\n", get_num(s, "max_ps") / 1e6);
   }
   const Json* dropped = stages.find("dropped_events");
   if (dropped != nullptr && dropped->as_int() > 0) {
@@ -131,6 +144,17 @@ int main(int argc, char** argv) {
     ev.ts = get_num(e, "ts");
     ev.pid = static_cast<int>(get_num(e, "pid"));
     ev.tid = static_cast<int>(get_num(e, "tid", -1));
+    if (ev.ph == 'C') {
+      // Counter samples must carry a numeric args.value.
+      const Json* args = e.find("args");
+      const Json* value = args != nullptr ? args->find("value") : nullptr;
+      if (value == nullptr || !value->is_number()) {
+        std::fprintf(stderr, "%s: counter sample \"%s\" without a numeric "
+                     "args.value\n", path, ev.name.c_str());
+        return 1;
+      }
+      ev.value = value->as_double();
+    }
     if (const Json* args = e.find("args"); args != nullptr) {
       if (const Json* m = args->find("msg")) ev.msg = m->as_int();
       if (const Json* p = args->find("pkt")) ev.pkt = p->as_int();
@@ -153,6 +177,7 @@ int main(int argc, char** argv) {
   std::map<std::pair<int, std::string>, SpanStats> span_stats;
   std::map<std::pair<int, int>, std::vector<std::pair<double, double>>>
       open_ts;  // parallel stack of begin ts
+  std::map<std::pair<int, std::string>, CounterStats> counter_stats;
   for (const auto& ev : events) {
     const auto key = std::make_pair(ev.pid, ev.tid);
     switch (ev.ph) {
@@ -184,9 +209,26 @@ int main(int argc, char** argv) {
       case 'i':
         ++instants;
         break;
-      case 'C':
+      case 'C': {
+        auto& c = counter_stats[{ev.pid, ev.name}];
+        if (c.count > 0 && ev.ts < c.last_ts) {
+          std::fprintf(stderr,
+                       "%s: counter \"%s\" (pid %d) goes back in time: "
+                       "%.6f after %.6f\n",
+                       path, ev.name.c_str(), ev.pid, ev.ts, c.last_ts);
+          return 1;
+        }
+        if (c.count == 0) {
+          c.first = c.min = c.max = ev.value;
+        }
+        c.last = ev.value;
+        c.min = std::min(c.min, ev.value);
+        c.max = std::max(c.max, ev.value);
+        c.last_ts = ev.ts;
+        ++c.count;
         ++counters;
         break;
+      }
       default:
         std::fprintf(stderr, "%s: unknown phase '%c'\n", path, ev.ph);
         return 1;
@@ -211,6 +253,65 @@ int main(int argc, char** argv) {
   if (const Json* stages = doc->find("netddtStages");
       stages != nullptr && stages->is_object()) {
     for (const auto& [run, s] : stages->members()) print_stage_table(run, s);
+  }
+
+  // Embedded blame aggregates: validate the ledger invariant offline —
+  // the per-stage sums must reproduce total_ps exactly (integer ps), the
+  // exported form of BlameLedger's "stages tile the window" check.
+  if (const Json* blame = doc->find("netddtBlame");
+      blame != nullptr && blame->is_object()) {
+    for (const auto& [run, b] : blame->members()) {
+      const Json* stages = b.find("stages");
+      if (!b.is_object() || stages == nullptr || !stages->is_object() ||
+          !b.contains("total_ps") || !b.contains("messages")) {
+        std::fprintf(stderr, "%s: malformed netddtBlame entry \"%s\"\n",
+                     path, run.c_str());
+        return 1;
+      }
+      const std::int64_t total = b.find("total_ps")->as_int();
+      std::int64_t sum = 0;
+      for (const auto& [stage, ps] : stages->members()) {
+        (void)stage;
+        sum += ps.as_int();
+      }
+      if (sum != total) {
+        std::fprintf(stderr,
+                     "%s: blame stages of \"%s\" sum to %lld ps but "
+                     "total_ps is %lld\n",
+                     path, run.c_str(), static_cast<long long>(sum),
+                     static_cast<long long>(total));
+        return 1;
+      }
+      std::printf("\n%s  (critical-path blame, %lld message(s), sum "
+                  "checks out)\n",
+                  run.c_str(),
+                  static_cast<long long>(b.find("messages")->as_int()));
+      if (total > 0) {
+        for (const auto& [stage, ps] : stages->members()) {
+          if (ps.as_int() == 0) continue;
+          std::printf("  %-16s %12.3f us  %5.1f%%\n", stage.c_str(),
+                      static_cast<double>(ps.as_int()) / 1e6,
+                      100.0 * static_cast<double>(ps.as_int()) /
+                          static_cast<double>(total));
+        }
+      }
+    }
+  }
+
+  // Counter tracks: sample counts and value envelopes, recomputed from
+  // the timeline (the monotonic-timestamp check already ran above).
+  if (!counter_stats.empty()) {
+    std::printf("\ncounter tracks\n");
+    std::printf("  %-10s %-24s %10s %12s %12s %12s %12s\n", "run",
+                "counter", "samples", "first", "min", "max", "last");
+    for (const auto& [key, c] : counter_stats) {
+      const auto pit = process_names.find(key.first);
+      std::printf("  %-10s %-24s %10llu %12.3f %12.3f %12.3f %12.3f\n",
+                  pit == process_names.end() ? "?" : pit->second.c_str(),
+                  key.second.c_str(),
+                  static_cast<unsigned long long>(c.count), c.first, c.min,
+                  c.max, c.last);
+    }
   }
 
   // Span statistics recomputed from the timeline itself. The percentile

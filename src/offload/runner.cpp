@@ -166,6 +166,9 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   const std::uint64_t msg_id = 1;
   auto packets = p4::packetize(msg_id, me.match_bits, packed,
                                nic.cost().pkt_payload);
+  if (run.tracer != nullptr && run.tracer->blame() != nullptr) {
+    run.tracer->blame()->open(msg_id, 0);
+  }
   const sim::faults::FaultPlan fault_plan(config.faults, msg_id);
   bool put_ok = true;
   if (fault_plan.active()) {
@@ -188,6 +191,13 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
     run.tracer->complete(run.tracer->track("message"), "receive",
                          info->first_byte, info->unpack_done,
                          static_cast<std::int64_t>(msg_id));
+  }
+  if (run.tracer != nullptr && run.tracer->blame() != nullptr) {
+    // Resolve the attribution window (send start -> final DMA landing);
+    // close() NETDDT_CHECKs that the stages tile it exactly.
+    const auto* attribution =
+        run.tracer->blame()->close(msg_id, info->unpack_done);
+    if (attribution != nullptr) run.blame = *attribution;
   }
 
   // Publish the simulator's own high-watermark, then freeze the registry:

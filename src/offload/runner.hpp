@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,11 @@ struct ReceiveRun {
   /// event timeline and the per-stage latency histograms; export with
   /// sim/trace/chrome.hpp.
   std::unique_ptr<sim::trace::Tracer> tracer;
+  /// Critical-path decomposition of the message when `config.trace.blame`
+  /// (stage times sum to the simulated end-to-end latency; the host
+  /// baseline's CPU unpack happens after the simulation and is not a
+  /// ledger stage).
+  std::optional<sim::trace::BlameAttribution> blame;
   /// Final receive buffer when `config.keep_buffer` (host bounce area
   /// excluded). Byte 0 is the lowest addressable byte of the layout;
   /// a type region at offset `off` lives at `buffer_shift + off`.

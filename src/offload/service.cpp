@@ -12,6 +12,7 @@
 #include "p4/put.hpp"
 #include "sim/check.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace/sampler.hpp"
 #include "spin/link.hpp"
 
 namespace netddt::offload {
@@ -60,6 +61,11 @@ struct MsgRecord {
   sim::Time arrival = 0;
   bool host_path = false;  // facade fell back: packed landing
   std::vector<std::byte> packed;  // alive until the message completes
+  // Lossy path only: the reliable transport holds a pointer to this
+  // vector (and packet data spans into `packed`), and late duplicates
+  // can deliver after the message retires — both move to the run-scoped
+  // graveyard when the record dies, never freed mid-run.
+  std::unique_ptr<std::vector<p4::Packet>> packets;
 };
 
 struct ServiceState {
@@ -74,16 +80,27 @@ struct ServiceState {
   std::vector<DdtEngine::TypeHandle> handles;
   std::vector<TenantStats> stats;
 
+  sim::trace::BlameLedger* blame = nullptr;
+  sim::TelemetrySampler* sampler = nullptr;
+
   std::unordered_map<std::uint64_t, MsgRecord> live;
   std::deque<std::uint64_t> pending;  // awaiting admission, arrival order
   std::uint64_t inflight = 0;
   std::uint64_t peak_inflight = 0;
   std::uint64_t verified = 0;
   std::uint64_t verify_failures = 0;
+  std::uint64_t put_failures = 0;
+  std::uint64_t remaining = 0;  // offered messages not yet retired
+  // See MsgRecord: buffers of retired lossy messages live here until
+  // the engine drains.
+  std::vector<std::vector<std::byte>> graveyard_packed;
+  std::vector<std::unique_ptr<std::vector<p4::Packet>>> graveyard_packets;
 
   void on_arrival(std::uint32_t tenant, std::uint64_t seq, sim::Time at);
   void admit(std::uint64_t key);
   void on_done(std::uint64_t key, sim::Time when);
+  void on_put_failed(std::uint64_t key);
+  void retire(std::unordered_map<std::uint64_t, MsgRecord>::iterator it);
   bool verify(const MsgRecord& rec) const;
 };
 
@@ -97,6 +114,7 @@ void ServiceState::on_arrival(std::uint32_t tenant, std::uint64_t seq,
   rec.tenant = tenant;
   rec.seq = seq;
   rec.arrival = at;
+  if (blame != nullptr) blame->open(key, at);
   if (inflight >= config->max_inflight) {
     ts.backpressured += 1;
     pending.push_back(key);
@@ -122,9 +140,25 @@ void ServiceState::admit(std::uint64_t key) {
   // tell messages of the same tenant apart.
   rec.packed = packed_message_pattern(
       g.msg_bytes, config->seed * 0x10001 + key);
-  const auto packets =
-      p4::packetize(key, key, rec.packed, config->cost.pkt_payload);
-  link->send_queued(packets, engine->now());
+  if (blame != nullptr) {
+    // Backpressure wait: arrival -> this admission (empty if immediate).
+    blame->interval(key, sim::trace::BlameStage::kAdmission, rec.arrival,
+                    engine->now());
+  }
+  const sim::faults::FaultPlan plan(config->faults, key);
+  if (plan.active()) {
+    rec.packets = std::make_unique<std::vector<p4::Packet>>(
+        p4::packetize(key, key, rec.packed, config->cost.pkt_payload));
+    link->send_reliable_queued(
+        *rec.packets, engine->now(), plan, config->retransmit,
+        [this, key](sim::Time, bool ok) {
+          if (!ok) on_put_failed(key);
+        });
+  } else {
+    const auto packets =
+        p4::packetize(key, key, rec.packed, config->cost.pkt_payload);
+    link->send_queued(packets, engine->now());
+  }
 
   inflight += 1;
   peak_inflight = std::max(peak_inflight, inflight);
@@ -163,13 +197,39 @@ void ServiceState::on_done(std::uint64_t key, sim::Time when) {
   ts.bytes += geometry[rec.tenant].msg_bytes;
   ts.last_done = std::max(ts.last_done, when);
   ts.completion.add(when - rec.arrival);
+  if (blame != nullptr) blame->close(key, when);
 
   const std::uint64_t every = config->verify_every;
   if (every > 0 && rec.seq % every == 0) {
     verified += 1;
     if (!verify(rec)) verify_failures += 1;
   }
+  retire(it);
+}
+
+void ServiceState::on_put_failed(std::uint64_t key) {
+  const auto it = live.find(key);
+  if (it == live.end()) return;
+  stats[it->second.tenant].failed += 1;
+  put_failures += 1;
+  // No close(): the blame ledger only accounts completed messages, and
+  // the NIC will never finish this one (the completion packet is never
+  // released once a data packet exhausts its retries).
+  retire(it);
+}
+
+void ServiceState::retire(
+    std::unordered_map<std::uint64_t, MsgRecord>::iterator it) {
+  MsgRecord& rec = it->second;
+  if (rec.packets != nullptr) {
+    graveyard_packed.push_back(std::move(rec.packed));
+    graveyard_packets.push_back(std::move(rec.packets));
+  }
   live.erase(it);
+
+  assert(remaining > 0);
+  remaining -= 1;
+  if (remaining == 0 && sampler != nullptr) sampler->stop();
 
   inflight -= 1;
   if (!pending.empty() && inflight < config->max_inflight) {
@@ -212,6 +272,48 @@ ServiceRun run_service(const ServiceConfig& config) {
   st.nic = &nic;
   st.link = &link;
   st.facade = &facade;
+  for (const auto& t : config.tenants) st.remaining += t.messages;
+
+  std::unique_ptr<sim::trace::Tracer> tracer;
+  if (config.trace.any()) {
+    tracer = std::make_unique<sim::trace::Tracer>(config.trace);
+    engine.set_tracer(tracer.get());
+    nic.set_tracer(tracer.get());  // before the facade builds contexts
+    st.blame = tracer->blame();
+  }
+
+  std::optional<sim::TelemetrySampler> sampler;
+  if (config.telemetry_period > 0) {
+    sampler.emplace(engine, nic.metrics(), config.telemetry_period);
+    sampler->set_tracer(tracer.get());
+    // Every probe reads state the components already maintain; the
+    // gauges referenced here are registered eagerly by their owners,
+    // so sampling adds "telemetry.*" series and nothing else.
+    sampler->probe("svc.inflight",
+                   [state = &st] { return static_cast<double>(state->inflight); });
+    sampler->probe("nic.match.posted", [n = &nic] {
+      return static_cast<double>(n->match_list().priority_size() +
+                                 n->match_list().overflow_size());
+    });
+    sampler->probe("nic.mem.used_bytes", [n = &nic] {
+      return static_cast<double>(n->metrics().gauge("nic.mem.used").value());
+    });
+    sampler->probe("nic.sched.busy_frac", [n = &nic, hpus = config.hpus] {
+      return static_cast<double>(n->scheduler().busy()) /
+             static_cast<double>(hpus);
+    });
+    sampler->probe("nic.dma.queue_depth", [n = &nic] {
+      return static_cast<double>(
+          n->metrics().gauge("nic.dma.queue_depth").value());
+    });
+    sampler->probe("link.port_backlog_us", [l = &link, e = &engine] {
+      const sim::Time backlog =
+          std::max<sim::Time>(0, l->port_free() - e->now());
+      return static_cast<double>(backlog) / 1e6;
+    });
+    st.sampler = &*sampler;
+    sampler->start();
+  }
 
   for (const auto& t : config.tenants) {
     st.handles.push_back(facade.commit(t.type, t.attrs));
@@ -248,7 +350,10 @@ ServiceRun run_service(const ServiceConfig& config) {
   run.verify_failures = st.verify_failures;
   run.evictions = facade.evictions();
   run.host_fallbacks = facade.host_fallbacks();
+  run.put_failures = st.put_failures;
   run.metrics = nic.metrics().snapshot();
+  if (st.blame != nullptr) run.blame = st.blame->completed();
+  run.tracer = std::move(tracer);
 
   sim::Time first = 0, last = 0;
   bool any = false;

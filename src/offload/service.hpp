@@ -23,13 +23,17 @@
 // repeats and --jobs layouts for a fixed config.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ddt/datatype.hpp"
 #include "offload/facade.hpp"
+#include "p4/put.hpp"
 #include "sim/arrivals.hpp"
+#include "sim/faults/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace/histogram.hpp"
+#include "sim/trace/trace.hpp"
 #include "spin/cost_model.hpp"
 #include "spin/nic.hpp"
 
@@ -59,11 +63,29 @@ struct ServiceConfig {
   /// reference unpack (0 disables). Sampled because full verification
   /// of thousands of messages would dominate the run.
   std::uint64_t verify_every = 16;
+  /// Wire fault injection. When active(), every message goes through
+  /// the reliable transport on the *shared* injection port
+  /// (spin::Link::send_reliable_queued), so drops, duplicates and
+  /// reorders compose with open-loop queueing; a put that exhausts its
+  /// retries retires as `failed` and frees its admission slot. Inert by
+  /// default — the run is byte-identical to pre-fault behavior.
+  sim::faults::FaultConfig faults{};
+  /// Retransmission policy; only read when `faults` is active.
+  p4::RetransmitConfig retransmit{};
+  /// Observability (events / stage stats / blame ledger). All-off by
+  /// default: an untelemetried run constructs no Tracer and its output
+  /// is byte-identical to PR 6 behavior.
+  sim::trace::TraceConfig trace{};
+  /// TelemetrySampler period in picoseconds (0 = no sampler). Samples
+  /// land in "telemetry.*" series of ServiceRun::metrics and, when
+  /// `trace.events` is on, as Perfetto counter tracks.
+  sim::Time telemetry_period = 0;
 };
 
 struct TenantStats {
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;
+  std::uint64_t failed = 0;         // reliable puts that exhausted retries
   std::uint64_t backpressured = 0;  // arrivals that waited for admission
   std::uint64_t host_fallbacks = 0;
   std::uint64_t bytes = 0;          // payload bytes completed
@@ -84,7 +106,15 @@ struct ServiceRun {
   std::uint64_t verify_failures = 0;
   std::uint64_t evictions = 0;       // facade plan evictions
   std::uint64_t host_fallbacks = 0;  // facade host-unpack fallbacks
+  std::uint64_t put_failures = 0;    // messages that never completed
   sim::MetricsSnapshot metrics;
+  /// Critical-path decomposition of every completed message, completion
+  /// order, when `config.trace.blame` (see sim/trace/blame.hpp); empty
+  /// otherwise. Copied out of the ledger so it survives handing
+  /// `tracer` to a collector.
+  std::vector<sim::trace::BlameAttribution> blame;
+  /// The run's tracer when `config.trace.any()`, else null.
+  std::unique_ptr<sim::trace::Tracer> tracer;
 };
 
 ServiceRun run_service(const ServiceConfig& config);

@@ -1,0 +1,190 @@
+#include "sim/trace/blame.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "sim/check.hpp"
+
+namespace netddt::sim::trace {
+
+const char* blame_stage_name(BlameStage s) {
+  switch (s) {
+    case BlameStage::kAdmission: return "admission";
+    case BlameStage::kSenderQueue: return "sender_queue";
+    case BlameStage::kWire: return "wire";
+    case BlameStage::kRetransmit: return "retransmit";
+    case BlameStage::kInbound: return "inbound";
+    case BlameStage::kMatch: return "match";
+    case BlameStage::kHpuWait: return "hpu_wait";
+    case BlameStage::kHpuExecute: return "hpu_execute";
+    case BlameStage::kDmaQueue: return "dma_queue";
+    case BlameStage::kDmaTransfer: return "dma_transfer";
+    case BlameStage::kUnattributed: return "unattributed";
+  }
+  return "?";
+}
+
+void BlameLedger::open(std::uint64_t msg, Time at) {
+  // First open wins: a duplicate open (retransmitted first packet) must
+  // not reset a window that already accumulated intervals.
+  live_.emplace(msg, Pending{at, {}});
+}
+
+void BlameLedger::interval(std::uint64_t msg, BlameStage stage, Time begin,
+                           Time end) {
+  if (end <= begin) return;
+  const auto it = live_.find(msg);
+  if (it == live_.end()) return;
+  it->second.intervals.push_back(Interval{stage, begin, end});
+}
+
+const BlameAttribution* BlameLedger::close(std::uint64_t msg, Time done) {
+  const auto it = live_.find(msg);
+  if (it == live_.end()) return nullptr;
+  Pending pending = std::move(it->second);
+  live_.erase(it);
+
+  BlameAttribution out;
+  out.msg = msg;
+  out.open = pending.open;
+  out.total = done - pending.open;
+  assert(out.total >= 0 && "message closed before it opened");
+
+  // Boundary sweep: +1/-1 events per interval (clipped to the window),
+  // sorted by time; each elementary slice between consecutive
+  // boundaries goes to the deepest active stage, or kUnattributed when
+  // nothing covers it. Slices tile [open, done] exactly, so the sum
+  // invariant holds by construction and only coverage can fail.
+  struct Edge {
+    Time at;
+    int delta;  // +1 activate, -1 deactivate
+    BlameStage stage;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(pending.intervals.size() * 2);
+  for (const Interval& iv : pending.intervals) {
+    const Time b = std::max(iv.begin, pending.open);
+    const Time e = std::min(iv.end, done);
+    if (e <= b) continue;
+    edges.push_back(Edge{b, +1, iv.stage});
+    edges.push_back(Edge{e, -1, iv.stage});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.at < b.at; });
+
+  std::uint32_t active[kBlameStageCount] = {};
+  Time cursor = pending.open;
+  std::size_t i = 0;
+  auto charge_until = [&](Time until) {
+    if (until <= cursor) return;
+    int deepest = -1;
+    for (int s = static_cast<int>(kBlameStageCount) - 1; s >= 0; --s) {
+      if (active[s] > 0) {
+        deepest = s;
+        break;
+      }
+    }
+    const std::size_t idx =
+        deepest >= 0 ? static_cast<std::size_t>(deepest)
+                     : static_cast<std::size_t>(BlameStage::kUnattributed);
+    out.stage[idx] += until - cursor;
+    cursor = until;
+  };
+  while (i < edges.size()) {
+    const Time at = edges[i].at;
+    charge_until(std::min(at, done));
+    for (; i < edges.size() && edges[i].at == at; ++i) {
+      auto& count = active[static_cast<std::size_t>(edges[i].stage)];
+      if (edges[i].delta > 0) {
+        ++count;
+      } else {
+        assert(count > 0);
+        --count;
+      }
+    }
+  }
+  charge_until(done);
+
+  NETDDT_CHECK(
+      out.stage[static_cast<std::size_t>(BlameStage::kUnattributed)] == 0,
+      "blame coverage gap: msg " + std::to_string(msg) + " has " +
+          std::to_string(out.stage[static_cast<std::size_t>(
+              BlameStage::kUnattributed)]) +
+          " ps attributed to no stage");
+  NETDDT_CHECK(out.sum() == out.total,
+               "blame stages sum to " + std::to_string(out.sum()) +
+                   " ps but msg " + std::to_string(msg) +
+                   " took " + std::to_string(out.total) + " ps end to end");
+
+  completed_.push_back(out);
+  return &completed_.back();
+}
+
+BlameCohorts blame_cohorts(const std::vector<BlameAttribution>& msgs,
+                           double tail_pct) {
+  BlameCohorts c;
+  c.messages = msgs.size();
+  if (msgs.empty()) return c;
+
+  // Order messages by total (ties broken by position, so cohort
+  // membership is deterministic even with many equal totals). The tail
+  // cohort is the slowest ceil((100-p)% * n) messages — a count-based
+  // cut rather than a threshold test, because with heavily tied totals
+  // "total >= p99 value" can degenerate to the whole population.
+  const std::size_t n = msgs.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (msgs[a].total != msgs[b].total) {
+      return msgs[a].total < msgs[b].total;
+    }
+    return a < b;
+  });
+  auto rank_count = [&](double p) {
+    std::size_t k = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(n) + 0.999999);
+    if (k == 0) k = 1;
+    if (k > n) k = n;
+    return k;
+  };
+  const std::size_t median_cut = rank_count(50.0);     // slowest excluded
+  const std::size_t tail_cut = rank_count(tail_pct);   // first tail rank
+  const std::size_t tail_first = tail_cut < n ? tail_cut : n - 1;
+  c.median_threshold = msgs[order[median_cut - 1]].total;
+  c.tail_threshold = msgs[order[tail_first]].total;
+
+  Time median_total = 0, tail_total = 0;
+  Time median_stage[kBlameStageCount] = {};
+  Time tail_stage[kBlameStageCount] = {};
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& m = msgs[order[r]];
+    if (r < median_cut) {
+      c.median_count += 1;
+      median_total += m.total;
+      for (std::size_t s = 0; s < kBlameStageCount; ++s) {
+        median_stage[s] += m.stage[s];
+      }
+    }
+    if (r >= tail_first) {
+      c.tail_count += 1;
+      tail_total += m.total;
+      for (std::size_t s = 0; s < kBlameStageCount; ++s) {
+        tail_stage[s] += m.stage[s];
+      }
+    }
+  }
+  for (std::size_t s = 0; s < kBlameStageCount; ++s) {
+    if (median_total > 0) {
+      c.median_share[s] = static_cast<double>(median_stage[s]) /
+                          static_cast<double>(median_total);
+    }
+    if (tail_total > 0) {
+      c.tail_share[s] = static_cast<double>(tail_stage[s]) /
+                        static_cast<double>(tail_total);
+    }
+  }
+  return c;
+}
+
+}  // namespace netddt::sim::trace

@@ -1,0 +1,139 @@
+#pragma once
+// Per-message critical-path attribution ("latency blame").
+//
+// Every pipeline component reports the intervals during which it held a
+// message's fate — the packet sat in the sender queue, was on the wire,
+// waited out a retransmit timeout, moved through the inbound engine,
+// waited for an HPU, executed, queued at the DMA engine, crossed PCIe,
+// or the message waited for admission into the receive window. The
+// intervals of one message overlap freely (sixteen packets pipeline
+// through every stage at once); BlameLedger::close() resolves them into
+// an *exclusive* decomposition of the end-to-end window: a sweep over
+// the interval boundaries assigns each elementary slice of [open, done]
+// to the highest-priority stage active during it, where priority is
+// pipeline depth — the stage closest to completion wins, because the
+// message cannot finish before that work drains.
+//
+// Two invariants fall out by construction and are NETDDT_CHECK-enforced:
+//   sum(stage times) == done - open          (the slices tile the window)
+//   unattributed == 0                        (some stage covers every slice)
+// A nonzero kUnattributed bucket means a component failed to report an
+// interval covering part of the message's life — a coverage bug, not a
+// modeling choice — so it is surfaced as its own stage rather than
+// silently folded into a neighbor.
+//
+// Cost discipline mirrors the Tracer: the ledger lives behind
+// `Tracer::blame()` which is nullptr unless TraceConfig::blame is set,
+// so untelemetried runs pay a single pointer test. Recording is
+// read-only with respect to the simulation; results are bit-identical
+// with blame on or off.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netddt::sim::trace {
+
+/// Exclusive blame stages, declared in pipeline order: when two stages
+/// are simultaneously active for one message, the one declared later
+/// (deeper in the pipeline) absorbs the time. kRetransmit sits just
+/// above kAdmission on purpose: the reliable transport's guard
+/// intervals (attempt departure -> timeout, delivery -> ack return)
+/// blanket the whole transfer, and they should only absorb the dead
+/// time no concrete activity explains — a slice where a packet is on
+/// the wire or a handler is running is that stage's fault, not the
+/// retransmit layer's.
+enum class BlameStage : std::uint8_t {
+  kAdmission = 0,  // arrival -> admitted into the receive window
+  kRetransmit,     // retransmit timeout/backoff waits + ack returns
+  kSenderQueue,    // admitted -> the packet's first bit departs
+  kWire,           // serialization + network latency (all attempts)
+  kInbound,        // packet arrival -> HER ready (copy + dispatch)
+  kMatch,          // matching-unit walk (message-opening packet)
+  kHpuWait,        // HER ready -> handler starts on an HPU
+  kHpuExecute,     // handler runtime T_PH
+  kDmaQueue,       // DMA request enqueued -> engine starts service
+  kDmaTransfer,    // DMA service + PCIe posted-write landing
+  kUnattributed,   // coverage gap (checked to be zero)
+};
+inline constexpr std::size_t kBlameStageCount = 11;
+
+/// Stable machine name ("admission", "sender_queue", ...).
+const char* blame_stage_name(BlameStage s);
+
+/// One message's resolved decomposition: stage[s] sums to total.
+struct BlameAttribution {
+  std::uint64_t msg = 0;
+  Time open = 0;   // window start (arrival / send time)
+  Time total = 0;  // end-to-end latency (done - open)
+  Time stage[kBlameStageCount] = {};
+
+  Time sum() const {
+    Time s = 0;
+    for (const Time t : stage) s += t;
+    return s;
+  }
+};
+
+class BlameLedger {
+ public:
+  /// Start a message's attribution window at `at`. Intervals reported
+  /// for messages that were never opened are ignored — drivers open
+  /// only the messages they intend to account (the service's admitted
+  /// messages, the runner's single receive), and everything else
+  /// (bare-link tests, multi-put experiments) stays invisible.
+  void open(std::uint64_t msg, Time at);
+  bool opened(std::uint64_t msg) const { return live_.count(msg) != 0; }
+
+  /// Report that `stage` was active for `msg` during [begin, end).
+  /// Overlaps with other intervals (same or different stage) are fine;
+  /// empty and unknown-message intervals are dropped.
+  void interval(std::uint64_t msg, BlameStage stage, Time begin, Time end);
+
+  /// Resolve the message's intervals against the window [open, done]
+  /// and append the result to completed(). NETDDT_CHECKs the sum and
+  /// coverage invariants. Returns nullptr for unknown messages;
+  /// otherwise a pointer valid until the next close().
+  const BlameAttribution* close(std::uint64_t msg, Time done);
+
+  /// Resolved messages, completion order (deterministic under the DES).
+  const std::vector<BlameAttribution>& completed() const {
+    return completed_;
+  }
+
+ private:
+  struct Interval {
+    BlameStage stage;
+    Time begin;
+    Time end;
+  };
+  struct Pending {
+    Time open = 0;
+    std::vector<Interval> intervals;
+  };
+
+  std::unordered_map<std::uint64_t, Pending> live_;
+  std::vector<BlameAttribution> completed_;
+};
+
+/// Tail-vs-median aggregation: blame shares over the cohort of messages
+/// at or below the p50 completion time vs the cohort at or above the
+/// `tail_pct` completion time ("p99 messages spend 71% of their time in
+/// the DMA queue; p50 messages spend 12%").
+struct BlameCohorts {
+  std::uint64_t messages = 0;
+  std::uint64_t median_count = 0;  // total <= p50 threshold
+  std::uint64_t tail_count = 0;    // total >= tail threshold
+  Time median_threshold = 0;       // p50 of completion times
+  Time tail_threshold = 0;         // p`tail_pct` of completion times
+  // share[s] = sum(stage[s]) / sum(total) over the cohort, in [0, 1].
+  double median_share[kBlameStageCount] = {};
+  double tail_share[kBlameStageCount] = {};
+};
+
+BlameCohorts blame_cohorts(const std::vector<BlameAttribution>& msgs,
+                           double tail_pct = 99.0);
+
+}  // namespace netddt::sim::trace

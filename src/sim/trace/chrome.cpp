@@ -116,6 +116,8 @@ void append_stage_summary(std::string& out, const Tracer& tracer) {
     append_double(out, h.percentile(90));
     out += ",\"p99_ps\":";
     append_double(out, h.percentile(99));
+    out += ",\"p999_ps\":";
+    append_double(out, h.percentile(99.9));
     out += ",\"max_ps\":" + std::to_string(h.max());
     out += ",\"mean_ps\":";
     append_double(out, h.mean());
@@ -123,6 +125,29 @@ void append_stage_summary(std::string& out, const Tracer& tracer) {
   }
   out += ",\"dropped_events\":" + std::to_string(tracer.dropped());
   out += "}";
+}
+
+// Aggregate critical-path blame of one run: message count, total
+// accounted picoseconds, and the integer per-stage sums. Integer sums
+// (not shares) so a consumer can cross-check sum(stages) == total_ps —
+// the same invariant BlameLedger::close() enforces per message.
+void append_blame_summary(std::string& out, const BlameLedger& ledger) {
+  Time total = 0;
+  Time stage[kBlameStageCount] = {};
+  for (const BlameAttribution& a : ledger.completed()) {
+    total += a.total;
+    for (std::size_t s = 0; s < kBlameStageCount; ++s) stage[s] += a.stage[s];
+  }
+  out += "{\"messages\":" + std::to_string(ledger.completed().size());
+  out += ",\"total_ps\":" + std::to_string(total);
+  out += ",\"stages\":{";
+  for (std::size_t s = 0; s < kBlameStageCount; ++s) {
+    if (s > 0) out += ",";
+    out += "\"";
+    out += blame_stage_name(static_cast<BlameStage>(s));
+    out += "\":" + std::to_string(stage[s]);
+  }
+  out += "}}";
 }
 
 void write_document(
@@ -165,7 +190,28 @@ void write_document(
     buf += ":";
     append_stage_summary(buf, *runs[run].second);
   }
-  buf += "}}\n";
+  buf += "}";
+  // Per-run blame aggregates, only for runs that kept a ledger — the
+  // key set mirrors netddtStages minus blame-less runs, and the section
+  // disappears entirely when nothing was attributed.
+  bool any_blame = false;
+  for (const auto& run : runs) {
+    any_blame = any_blame || run.second->blame() != nullptr;
+  }
+  if (any_blame) {
+    buf += ",\"netddtBlame\":{";
+    bool first_blame = true;
+    for (const auto& run : runs) {
+      if (run.second->blame() == nullptr) continue;
+      if (!first_blame) buf += ",";
+      first_blame = false;
+      append_escaped(buf, run.first.c_str());
+      buf += ":";
+      append_blame_summary(buf, *run.second->blame());
+    }
+    buf += "}";
+  }
+  buf += "}\n";
   out << buf;
 }
 

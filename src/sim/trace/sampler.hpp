@@ -1,0 +1,85 @@
+#pragma once
+// Periodic telemetry sampling: turns instantaneous gauges (inflight
+// window, match-list depth, NIC-memory occupancy, HPU busy fraction,
+// link-port backlog, ...) into deterministic time series.
+//
+// A driver registers probes (closures returning the current value of a
+// gauge) and start()s the sampler; every `period` picoseconds of
+// simulated time the sampler reads each probe and records the value
+//
+//  - into a MetricsRegistry Series named "telemetry.<probe>", so the
+//    samples travel with the run's MetricsSnapshot and land in JSON
+//    tables, and
+//  - as a Perfetto counter-track sample (track "telemetry") when a
+//    Tracer with events is attached, deduplicated on value so constant
+//    gauges cost one event.
+//
+// Sampling is read-only and happens at deterministic instants, so runs
+// are byte-identical with the sampler on or off, across --jobs layouts
+// and repeats. Lazy registration holds: the "telemetry.*" series exist
+// only in runs that started a sampler.
+//
+// The sampler self-schedules on the engine, and sim::Engine::run()
+// drains the queue — a perpetually rescheduling event would hang the
+// run. Drivers must therefore stop() the sampler when their workload
+// retires (the service driver does this when its last message
+// completes); at most one already-scheduled tick fires afterwards and
+// is ignored.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace/trace.hpp"
+
+namespace netddt::sim {
+
+class TelemetrySampler {
+ public:
+  /// Samples land in `metrics` ("telemetry.<name>" series); `period` is
+  /// the sampling interval in picoseconds and must be positive.
+  TelemetrySampler(Engine& engine, MetricsRegistry& metrics, Time period);
+
+  /// Attach a tracer for counter-track export (nullptr detaches; only
+  /// tracers with events on emit anything). Call before start().
+  void set_tracer(trace::Tracer* tracer);
+
+  /// Register a probe. Call before start(); registration order is the
+  /// export order.
+  void probe(const std::string& name, std::function<double()> read);
+
+  /// Take the t=0 sample and schedule the periodic ticks.
+  void start();
+
+  /// Stop rescheduling (idempotent). The engine can then drain.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  void tick();
+
+  struct Probe {
+    std::string name;
+    std::function<double()> read;
+    Series* series = nullptr;
+    std::uint32_t track = 0;
+    const char* track_name = nullptr;
+    double last_emitted = -1.0;
+    bool emitted_any = false;
+  };
+
+  Engine* engine_;
+  MetricsRegistry* metrics_;
+  Time period_;
+  trace::Tracer* tracer_ = nullptr;
+  std::vector<Probe> probes_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace netddt::sim

@@ -25,10 +25,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/trace/blame.hpp"
 #include "sim/trace/histogram.hpp"
 
 namespace netddt::sim::trace {
@@ -44,8 +46,13 @@ struct TraceConfig {
   /// Also emit a span per DES-engine event dispatch plus a pending-queue
   /// counter. Very noisy; off by default even when `events` is on.
   bool engine_events = false;
+  /// Keep a per-message critical-path attribution ledger (see
+  /// sim/trace/blame.hpp). Drivers open/close message windows; the
+  /// pipeline components report stage intervals through the same
+  /// Tracer* they already hold.
+  bool blame = false;
 
-  bool any() const { return events || stats; }
+  bool any() const { return events || stats || blame; }
 };
 
 /// Pipeline stages with a latency histogram (paper Figs 12/14/15 lens).
@@ -74,7 +81,9 @@ struct TraceEvent {
 
 class Tracer {
  public:
-  explicit Tracer(TraceConfig config = {}) : config_(config) {}
+  explicit Tracer(TraceConfig config = {}) : config_(config) {
+    if (config_.blame) ledger_ = std::make_unique<BlameLedger>();
+  }
 
   const TraceConfig& config() const { return config_; }
   bool events_on() const { return config_.events; }
@@ -111,6 +120,10 @@ class Tracer {
     return stages_[static_cast<std::size_t>(stage)];
   }
 
+  // --- critical-path attribution (null unless config.blame) -------------
+  BlameLedger* blame() { return ledger_.get(); }
+  const BlameLedger* blame() const { return ledger_.get(); }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   std::uint64_t dropped() const { return dropped_; }
 
@@ -128,6 +141,7 @@ class Tracer {
   std::map<std::string, const char*> intern_index_;
   Histogram stages_[kStageCount];
   std::uint64_t dropped_ = 0;
+  std::unique_ptr<BlameLedger> ledger_;
 };
 
 }  // namespace netddt::sim::trace

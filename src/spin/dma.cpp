@@ -76,6 +76,13 @@ void DmaEngine::start_next() {
                      engine_->now() - req.enqueued);
     tracer_->latency(sim::trace::Stage::kPcieTransfer,
                      service + cost_->pcie_write_latency);
+    if (auto* blame = tracer_->blame()) {
+      blame->interval(req.msg_id, sim::trace::BlameStage::kDmaQueue,
+                      req.enqueued, engine_->now());
+      blame->interval(req.msg_id, sim::trace::BlameStage::kDmaTransfer,
+                      engine_->now(),
+                      engine_->now() + service + cost_->pcie_write_latency);
+    }
     if (tracer_->events_on()) {
       tracer_->complete(dma_track_, "dma write", engine_->now(),
                         engine_->now() + service,

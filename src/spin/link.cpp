@@ -11,6 +11,8 @@ sim::Time Link::deliver_in_order(const std::vector<const p4::Packet*>& order,
   sim::trace::Tracer* tracer = target_->tracer();
   const bool trace = tracer != nullptr && tracer->events_on();
   const std::uint32_t link_track = trace ? tracer->track("link") : 0;
+  sim::trace::BlameLedger* blame =
+      tracer != nullptr ? tracer->blame() : nullptr;
   sim::Time link_free = start;
   sim::Time last_arrival = start;
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -28,6 +30,13 @@ sim::Time Link::deliver_in_order(const std::vector<const p4::Packet*>& order,
           link_track, "wire", depart, link_free,
           static_cast<std::int64_t>(pkt.msg_id),
           static_cast<std::int64_t>(pkt.offset / cost_->pkt_payload));
+    }
+    if (blame != nullptr) {
+      // Pacing waits (sender-side production) count as sender queue.
+      blame->interval(pkt.msg_id, sim::trace::BlameStage::kSenderQueue,
+                      start, depart);
+      blame->interval(pkt.msg_id, sim::trace::BlameStage::kWire, depart,
+                      arrival);
     }
     engine_->schedule_at(arrival, [nic = target_, pkt] { nic->deliver(pkt); });
   }
@@ -57,6 +66,8 @@ sim::Time Link::send_queued(const std::vector<p4::Packet>& packets,
   sim::trace::Tracer* tracer = target_->tracer();
   const bool trace = tracer != nullptr && tracer->events_on();
   const std::uint32_t link_track = trace ? tracer->track("link") : 0;
+  sim::trace::BlameLedger* blame =
+      tracer != nullptr ? tracer->blame() : nullptr;
   sim::Time last_arrival = std::max(port_free_, earliest);
   for (const p4::Packet& pkt : packets) {
     const sim::Time depart = std::max(port_free_, earliest);
@@ -70,6 +81,12 @@ sim::Time Link::send_queued(const std::vector<p4::Packet>& packets,
           link_track, "wire", depart, port_free_,
           static_cast<std::int64_t>(pkt.msg_id),
           static_cast<std::int64_t>(pkt.offset / cost_->pkt_payload));
+    }
+    if (blame != nullptr) {
+      blame->interval(pkt.msg_id, sim::trace::BlameStage::kSenderQueue,
+                      earliest, depart);
+      blame->interval(pkt.msg_id, sim::trace::BlameStage::kWire, depart,
+                      arrival);
     }
     engine_->schedule_at(arrival, [nic = target_, pkt] { nic->deliver(pkt); });
   }
@@ -92,6 +109,10 @@ struct Link::ReliableTransfer {
   sim::Time base_timeout = 0;
   p4::ReliablePutState state;
   sim::Time link_free = 0;
+  // Serialize through Link::port_free_ (the shared injection port) so
+  // reliable transfers of concurrent messages queue behind one wire —
+  // the open-loop service model under faults (send_reliable_queued).
+  bool shared_port = false;
   bool completion_sent = false;
   bool done = false;
   // Receiver-side reorder observation: distance of each arrival behind
@@ -110,6 +131,7 @@ struct Link::ReliableTransfer {
 
   sim::trace::Tracer* tracer = nullptr;
   std::uint32_t link_track = 0;
+  sim::trace::BlameLedger* blame = nullptr;
 
   ReliableTransfer(Link* l, const std::vector<p4::Packet>& pkts,
                    const sim::faults::FaultPlan& p,
@@ -128,6 +150,7 @@ struct Link::ReliableTransfer {
       tracer = t;
       link_track = t->track("link");
     }
+    if (t != nullptr) blame = t->blame();
   }
 };
 
@@ -136,11 +159,30 @@ void Link::send_reliable(const std::vector<p4::Packet>& packets,
                          const sim::faults::FaultPlan& plan,
                          const p4::RetransmitConfig& rc,
                          PutCompleteFn on_complete) {
+  start_reliable(packets, start, plan, rc, std::move(on_complete),
+                 /*shared_port=*/false);
+}
+
+void Link::send_reliable_queued(const std::vector<p4::Packet>& packets,
+                                sim::Time earliest,
+                                const sim::faults::FaultPlan& plan,
+                                const p4::RetransmitConfig& rc,
+                                PutCompleteFn on_complete) {
+  start_reliable(packets, earliest, plan, rc, std::move(on_complete),
+                 /*shared_port=*/true);
+}
+
+void Link::start_reliable(const std::vector<p4::Packet>& packets,
+                          sim::Time start,
+                          const sim::faults::FaultPlan& plan,
+                          const p4::RetransmitConfig& rc,
+                          PutCompleteFn on_complete, bool shared_port) {
   assert(!packets.empty());
   assert(plan.active() && "inert plans should use the lossless send()");
   auto self = std::make_shared<ReliableTransfer>(this, packets, plan, rc);
   self->on_complete = std::move(on_complete);
   self->link_free = start;
+  self->shared_port = shared_port;
   // Derived timeout: one full round trip (serialization + two network
   // latencies) plus the worst-case reorder skew of the packet and of its
   // ack, so an undropped attempt is always acked before its timer fires.
@@ -167,16 +209,22 @@ void Link::transmit(const std::shared_ptr<ReliableTransfer>& self,
   ReliableTransfer& t = *self;
   const p4::Packet& src = (*t.packets)[idx];
   t.state.record_attempt(static_cast<std::size_t>(idx));
-  const sim::Time depart = std::max(at, t.link_free);
+  sim::Time& clock = t.shared_port ? t.link->port_free_ : t.link_free;
+  const sim::Time depart = std::max(at, clock);
   const sim::Time on_wire = t.link->cost_->wire_time(
       std::max<std::uint64_t>(src.payload_bytes, 1));  // header flit
-  t.link_free = depart + on_wire;
+  const sim::Time serialized = depart + on_wire;
+  clock = serialized;
   t.wire_bytes->add(src.payload_bytes);
   if (t.tracer != nullptr) {
     t.tracer->complete(t.link_track, attempt == 0 ? "wire" : "retransmit",
-                       depart, t.link_free,
+                       depart, serialized,
                        static_cast<std::int64_t>(src.msg_id),
                        static_cast<std::int64_t>(idx));
+  }
+  if (t.blame != nullptr) {
+    t.blame->interval(src.msg_id, sim::trace::BlameStage::kSenderQueue, at,
+                      depart);
   }
 
   const sim::faults::FaultDecision d = t.plan.decide(idx, attempt);
@@ -184,14 +232,24 @@ void Link::transmit(const std::shared_ptr<ReliableTransfer>& self,
   if (d.drop) {
     t.dropped->add(1);
     if (t.tracer != nullptr) {
-      t.tracer->instant(t.link_track, "pkt.drop", t.link_free,
+      t.tracer->instant(t.link_track, "pkt.drop", serialized,
                         static_cast<std::int64_t>(src.msg_id),
                         static_cast<std::int64_t>(idx));
     }
+    if (t.blame != nullptr) {
+      // Only the serialization window is wire time; the wait for the
+      // retransmit timer is covered by the kRetransmit guard below.
+      t.blame->interval(src.msg_id, sim::trace::BlameStage::kWire, depart,
+                        serialized);
+    }
   } else {
     const sim::Time arrival =
-        t.link_free + t.link->cost_->net_latency + d.delay_slots * slot;
+        serialized + t.link->cost_->net_latency + d.delay_slots * slot;
     schedule_delivery(self, idx, attempt, arrival, /*is_dup=*/false);
+    if (t.blame != nullptr) {
+      t.blame->interval(src.msg_id, sim::trace::BlameStage::kWire, depart,
+                        arrival);
+    }
     if (d.duplicate) {
       t.dups->add(1);
       schedule_delivery(self, idx, attempt,
@@ -200,6 +258,13 @@ void Link::transmit(const std::shared_ptr<ReliableTransfer>& self,
   }
 
   const sim::Time timeout = t.rc.timeout_for(attempt, t.base_timeout);
+  if (t.blame != nullptr) {
+    // The attempt's unacked window: whenever nothing deeper is active
+    // (every copy dropped, backoff running), the message is waiting on
+    // the reliable transport.
+    t.blame->interval(src.msg_id, sim::trace::BlameStage::kRetransmit,
+                      depart, depart + timeout);
+  }
   t.link->engine_->schedule_at(depart + timeout, [self, idx, attempt] {
     ReliableTransfer& tr = *self;
     if (tr.done || tr.state.acked(static_cast<std::size_t>(idx))) return;
@@ -231,6 +296,16 @@ void Link::schedule_delivery(const std::shared_ptr<ReliableTransfer>& self,
         }
         t.link->target_->deliver(pkt);
         // Ack on the lossless return channel.
+        if (t.blame != nullptr) {
+          // The ack's flight time: the sender holds the completion
+          // packet back until it lands, so when no receiver-side stage
+          // is active the message is waiting on the transport.
+          t.blame->interval(pkt.msg_id,
+                            sim::trace::BlameStage::kRetransmit,
+                            t.link->engine_->now(),
+                            t.link->engine_->now() +
+                                t.link->cost_->net_latency);
+        }
         t.link->engine_->schedule(t.link->cost_->net_latency,
                                   [self, idx] { on_ack(self, idx); });
       });

@@ -96,8 +96,24 @@ class Link {
                      const p4::RetransmitConfig& rc = {},
                      PutCompleteFn on_complete = {});
 
+  /// send_reliable through the *shared* injection port (see send_queued):
+  /// transmissions and retransmissions of every queued reliable transfer
+  /// serialize behind one persistent wire clock, so the open-loop
+  /// service model composes with fault injection. Departure is no
+  /// earlier than `earliest`.
+  void send_reliable_queued(const std::vector<p4::Packet>& packets,
+                            sim::Time earliest,
+                            const sim::faults::FaultPlan& plan,
+                            const p4::RetransmitConfig& rc = {},
+                            PutCompleteFn on_complete = {});
+
  private:
   struct ReliableTransfer;
+
+  void start_reliable(const std::vector<p4::Packet>& packets, sim::Time start,
+                      const sim::faults::FaultPlan& plan,
+                      const p4::RetransmitConfig& rc,
+                      PutCompleteFn on_complete, bool shared_port);
 
   static void transmit(const std::shared_ptr<ReliableTransfer>& self,
                        std::uint64_t idx, std::uint32_t attempt,

@@ -74,6 +74,11 @@ void NicModel::deliver(const p4::Packet& pkt) {
     // model; surface it as the "match" stage for first packets.
     if (tracer_ != nullptr) {
       tracer_->latency(sim::trace::Stage::kMatch, cost_.rdma_nic_per_pkt);
+      if (auto* blame = tracer_->blame()) {
+        blame->interval(pkt.msg_id, sim::trace::BlameStage::kMatch,
+                        engine_->now(),
+                        engine_->now() + cost_.rdma_nic_per_pkt);
+      }
     }
     auto hit = match_list_.match(pkt.match_bits);
     if (!hit) {
@@ -139,6 +144,10 @@ void NicModel::deliver_rdma(MsgState& st, const p4::Packet& pkt) {
   const sim::Time ready = engine_->now() + cost_.rdma_nic_per_pkt;
   if (tracer_ != nullptr) {
     tracer_->latency(sim::trace::Stage::kInbound, cost_.rdma_nic_per_pkt);
+    if (auto* blame = tracer_->blame()) {
+      blame->interval(st.msg_id, sim::trace::BlameStage::kInbound,
+                      engine_->now(), ready);
+    }
   }
   std::span<const std::byte> src;
   if (pkt.data != nullptr && pkt.payload_bytes > 0) {
@@ -170,6 +179,10 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
   // Inbound-engine stage: packet arrival to HER hand-off.
   if (tracer_ != nullptr) {
     tracer_->latency(sim::trace::Stage::kInbound, her_ready);
+    if (auto* blame = tracer_->blame()) {
+      blame->interval(st.msg_id, sim::trace::BlameStage::kInbound,
+                      engine_->now(), engine_->now() + her_ready);
+    }
   }
 
   const bool run_header = pkt.first && st.ctx->header != nullptr;

@@ -90,6 +90,12 @@ void Scheduler::run_task(Pending item, Vhpu* owner, std::uint32_t hpu) {
   if (tracer_ != nullptr) {
     tracer_->latency(sim::trace::Stage::kHpuWait, start - item.enqueued);
     tracer_->latency(sim::trace::Stage::kHandler, runtime);
+    if (auto* blame = tracer_->blame()) {
+      blame->interval(item.msg, sim::trace::BlameStage::kHpuWait,
+                      item.enqueued, start);
+      blame->interval(item.msg, sim::trace::BlameStage::kHpuExecute, start,
+                      start + runtime);
+    }
     if (tracer_->events_on()) {
       tracer_->complete(hpu_tracks_[hpu], item.label, start, start + runtime,
                         static_cast<std::int64_t>(item.msg), item.pkt);

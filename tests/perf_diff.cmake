@@ -1,0 +1,118 @@
+# CTest script: perf_diff exit-code contract against small fixtures.
+#   0  identical / within-threshold documents pass
+#   1  an injected regression under a `higher` rule fails the gate
+#   3  a schema_version bump or a removed metric is a schema mismatch
+#   2  bad usage (missing CURRENT operand)
+#
+# Invoked as:
+#   cmake -DPERF_DIFF=<path-to-perf_diff> -DWORK_DIR=<scratch> -P perf_diff.cmake
+
+if(NOT PERF_DIFF OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DPERF_DIFF=... -DWORK_DIR=... -P perf_diff.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+file(WRITE "${WORK_DIR}/base.json" [=[
+{
+  "schema_version": 1,
+  "benchmark": "fixture",
+  "rows": [
+    {"workload": "lookup", "ops": 1000000, "bytes": 4096},
+    {"workload": "churn", "ops": 500000, "bytes": 4096}
+  ],
+  "wall_ms": 120.5
+}
+]=])
+
+# Within threshold: ops dipped 10% under a higher:0.2 rule, wall_ms
+# ignored, bytes exactly equal.
+file(WRITE "${WORK_DIR}/ok.json" [=[
+{
+  "schema_version": 1,
+  "benchmark": "fixture",
+  "rows": [
+    {"workload": "lookup", "ops": 900000, "bytes": 4096},
+    {"workload": "churn", "ops": 500000, "bytes": 4096}
+  ],
+  "wall_ms": 250.0
+}
+]=])
+
+# Regression: lookup ops collapsed far past the 20% allowance.
+file(WRITE "${WORK_DIR}/regressed.json" [=[
+{
+  "schema_version": 1,
+  "benchmark": "fixture",
+  "rows": [
+    {"workload": "lookup", "ops": 400000, "bytes": 4096},
+    {"workload": "churn", "ops": 500000, "bytes": 4096}
+  ],
+  "wall_ms": 120.5
+}
+]=])
+
+# Schema bump: same metrics, different schema_version.
+file(WRITE "${WORK_DIR}/v2.json" [=[
+{
+  "schema_version": 2,
+  "benchmark": "fixture",
+  "rows": [
+    {"workload": "lookup", "ops": 1000000, "bytes": 4096},
+    {"workload": "churn", "ops": 500000, "bytes": 4096}
+  ],
+  "wall_ms": 120.5
+}
+]=])
+
+# Shrunk: a tracked metric (rows.1) disappeared.
+file(WRITE "${WORK_DIR}/shrunk.json" [=[
+{
+  "schema_version": 1,
+  "benchmark": "fixture",
+  "rows": [
+    {"workload": "lookup", "ops": 1000000, "bytes": 4096}
+  ],
+  "wall_ms": 120.5
+}
+]=])
+
+set(RULES --rule "rows.*.ops=higher:0.2" --rule "wall_ms=ignore")
+
+execute_process(
+  COMMAND "${PERF_DIFF}" "${WORK_DIR}/base.json" "${WORK_DIR}/ok.json" ${RULES}
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "within-threshold comparison should pass, got ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${PERF_DIFF}" "${WORK_DIR}/base.json" "${WORK_DIR}/regressed.json" ${RULES}
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "injected regression should exit 1, got ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${PERF_DIFF}" "${WORK_DIR}/base.json" "${WORK_DIR}/v2.json" ${RULES}
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "schema_version bump should exit 3, got ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${PERF_DIFF}" "${WORK_DIR}/base.json" "${WORK_DIR}/shrunk.json" ${RULES}
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "removed metric should exit 3, got ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${PERF_DIFF}" "${WORK_DIR}/base.json"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "missing operand should exit 2, got ${rc}")
+endif()
+
+message(STATUS "perf_diff: exit-code contract holds (0/1/3/3/2)")
