@@ -57,6 +57,9 @@ void usage(const char* argv0) {
       "  --line-rate G   override the link rate (Gbit/s)\n"
       "  --match-engine E  matching unit: linear | hashed (default\n"
       "                  hashed; results are byte-identical either way)\n"
+      "  --pack-engine E byte engine: interpreter | program (default\n"
+      "                  interpreter; experiments that stream bytes\n"
+      "                  honor it, others ignore it)\n"
       "  --drop-rate P   wire packet-drop probability [0,1]\n"
       "  --dup-rate P    wire packet-duplication probability [0,1]\n"
       "  --reorder-rate P  wire packet-reorder probability [0,1]\n"
@@ -172,6 +175,12 @@ int bench_main(int argc, char** argv) {
           v != nullptr ? p4::parse_match_engine(v) : std::nullopt;
       ok = kind.has_value();
       if (ok) params.match_engine = *kind;
+    } else if (std::strcmp(arg, "--pack-engine") == 0) {
+      const char* v = next();
+      const auto kind =
+          v != nullptr ? dataloop::parse_pack_engine(v) : std::nullopt;
+      ok = kind.has_value();
+      if (ok) params.pack_engine = *kind;
     } else if (std::strcmp(arg, "--drop-rate") == 0) {
       const char* v = next();
       double d = 0;

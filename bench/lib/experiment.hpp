@@ -28,6 +28,7 @@
 
 #include "bench/lib/parallel.hpp"
 #include "bench/lib/report.hpp"
+#include "dataloop/program.hpp"
 #include "p4/match.hpp"
 #include "sim/faults/faults.hpp"
 #include "sim/trace/chrome.hpp"
@@ -59,6 +60,12 @@ class Params {
   /// DELIBERATELY not echoed into reports — tests/engine_equality.cmake
   /// byte-compares the JSON of both engines, which an echo would defeat.
   std::optional<p4::MatchEngineKind> match_engine;
+  /// --pack-engine: byte-moving engine for the functional pack/unpack
+  /// paths (Segment interpreter vs compiled flat program). Echoed ONLY
+  /// when explicitly set: program mode legitimately changes the report
+  /// (dataloop.program.* counters appear), but default runs must stay
+  /// byte-identical to historical JSON.
+  std::optional<dataloop::PackEngine> pack_engine;
   std::optional<double> drop_rate;          // --drop-rate
   std::optional<double> dup_rate;           // --dup-rate
   std::optional<double> reorder_rate;       // --reorder-rate
@@ -94,6 +101,13 @@ class Params {
   /// No echo — see the field comment.
   p4::MatchEngineKind match_engine_or(p4::MatchEngineKind def) const {
     return match_engine.value_or(def);
+  }
+  /// Echo-when-set — see the field comment.
+  dataloop::PackEngine pack_engine_or(dataloop::PackEngine def) const {
+    if (!pack_engine) return def;
+    echo("pack_engine",
+         std::string(dataloop::pack_engine_name(*pack_engine)));
+    return *pack_engine;
   }
   /// Effective wire-fault config for experiments that model a lossy
   /// wire: CLI overrides applied on top of `def`, with every rate and

@@ -1,0 +1,97 @@
+#pragma once
+// Shared benchmark layout builders. micro_primitives, pack_kernels and
+// the ddt_help experiment all measure the same datatype shapes; keeping
+// the builders here (instead of per-binary copies) keeps
+// interpreter-vs-program comparisons apples-to-apples and fixes the
+// BM_Pack/BM_Unpack setup duplication micro_primitives used to carry.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddt/datatype.hpp"
+
+namespace netddt::bench::layouts {
+
+/// Strided byte-block vector: `blocks` runs of `block_bytes` at 50%
+/// density (stride = 2x block). The canonical constant-stride shape.
+inline ddt::TypePtr vector_type(std::int64_t blocks,
+                                std::int64_t block_bytes) {
+  return ddt::Datatype::hvector(blocks, block_bytes, 2 * block_bytes,
+                                ddt::Datatype::int8());
+}
+
+/// Vector-of-vector: the nested shape from the measured pack studies
+/// (row tiles inside a strided plane). Leaf runs are constant-size, but
+/// the stride train restarts every outer iteration.
+inline ddt::TypePtr nested_type(std::int64_t outer, std::int64_t inner) {
+  auto row = ddt::Datatype::vector(inner, 2, 4, ddt::Datatype::float64());
+  return ddt::Datatype::hvector(outer, 1, row->extent() + 192, row);
+}
+
+/// Irregular indexed layout: `blocks` runs of pseudo-random length
+/// (4..67 ints) at pseudo-random gaps — no constant-stride train, so
+/// the program compiles to gather tables.
+inline ddt::TypePtr indexed_type(std::int64_t blocks,
+                                 std::uint64_t seed = 7) {
+  std::vector<std::int64_t> lens(static_cast<std::size_t>(blocks));
+  std::vector<std::int64_t> displs(static_cast<std::size_t>(blocks));
+  std::uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  std::int64_t at = 0;
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    lens[i] = 4 + static_cast<std::int64_t>(s % 64);
+    displs[i] = at;
+    at += lens[i] + 1 + static_cast<std::int64_t>((s >> 32) % 16);
+  }
+  return ddt::Datatype::indexed(lens, displs, ddt::Datatype::int32());
+}
+
+/// Mixed-member struct (the particle-record shape of the pack/unpack
+/// studies): int64 id, 3x float64 position, 2x int32 flags, with
+/// per-member padding gaps.
+inline ddt::TypePtr struct_record_type() {
+  const std::int64_t blocklens[] = {1, 3, 2};
+  const std::int64_t displs[] = {0, 16, 48};
+  const ddt::TypePtr types[] = {ddt::Datatype::int64(),
+                                ddt::Datatype::float64(),
+                                ddt::Datatype::int32()};
+  return ddt::Datatype::struct_type(blocklens, displs, types);
+}
+
+/// Source/destination buffer size for `count` instances of `type`
+/// (true-extent window + slack), matching the runner's sizing rule for
+/// non-negative-lb types.
+inline std::size_t buffer_bytes(const ddt::TypePtr& type,
+                                std::uint64_t count) {
+  return static_cast<std::size_t>(type->extent()) * count + 64;
+}
+
+/// One named benchmark layout; `constant_stride` marks the shapes the
+/// flat-program executor must beat the interpreter on by the >= 2x
+/// acceptance bar (vector family: stride trains dominate).
+struct Layout {
+  std::string name;
+  ddt::TypePtr type;
+  std::uint64_t count = 1;
+  bool constant_stride = false;
+};
+
+/// The standard measurement set: vector / nested (constant-stride) and
+/// indexed / struct (irregular), all sized to ~1-4 MiB of payload so a
+/// rep is cache-resident work, not allocator noise.
+inline std::vector<Layout> standard_layouts() {
+  return {
+      {"vec_8B", vector_type(1 << 16, 8), 2, true},
+      {"vec_64B", vector_type(1 << 13, 64), 4, true},
+      {"vec_512B", vector_type(1 << 10, 512), 4, true},
+      {"nested_vec", nested_type(256, 16), 8, true},
+      {"indexed_irregular", indexed_type(512), 16, false},
+      {"struct_records", struct_record_type(), 1 << 15, false},
+  };
+}
+
+}  // namespace netddt::bench::layouts

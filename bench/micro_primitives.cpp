@@ -1,26 +1,44 @@
 // Wall-clock microbenchmarks (google-benchmark) of the library's hot
 // primitives: type-map flattening, reference pack/unpack, dataloop
-// segment streaming, and checkpoint-table construction. These guard the
+// segment streaming, chunked Packer/Unpacker streaming (both byte
+// engines), and checkpoint-table construction. These guard the
 // simulator's own performance (the figure benches replay millions of
-// regions through these paths).
+// regions through these paths). Layout shapes come from
+// bench/lib/layouts.hpp, shared with pack_kernels so engine
+// comparisons measure identical types.
 
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench/lib/layouts.hpp"
+#include "dataloop/cache.hpp"
 #include "dataloop/dataloop.hpp"
+#include "dataloop/packer.hpp"
+#include "dataloop/program.hpp"
 #include "dataloop/segment.hpp"
 #include "ddt/datatype.hpp"
 #include "ddt/pack.hpp"
 
 using namespace netddt;
+using bench::layouts::indexed_type;
+using bench::layouts::struct_record_type;
+using bench::layouts::vector_type;
 
 namespace {
 
-ddt::TypePtr vector_type(std::int64_t blocks, std::int64_t block_bytes) {
-  return ddt::Datatype::hvector(blocks, block_bytes, 2 * block_bytes,
-                                ddt::Datatype::int8());
-}
+// Shared BM_Pack/BM_Unpack fixture: one layout, its buffers, and the
+// packed-stream size (the former duplicated setup of both benches).
+struct PackFixture {
+  ddt::TypePtr type;
+  std::vector<std::byte> layout_buf;
+  std::vector<std::byte> stream_buf;
+
+  explicit PackFixture(ddt::TypePtr t) : type(std::move(t)) {
+    layout_buf.resize(bench::layouts::buffer_bytes(type, 1));
+    stream_buf.resize(type->size());
+  }
+};
 
 void BM_Flatten(benchmark::State& state) {
   auto t = vector_type(state.range(0), 64);
@@ -32,30 +50,110 @@ void BM_Flatten(benchmark::State& state) {
 BENCHMARK(BM_Flatten)->Arg(1024)->Arg(16384);
 
 void BM_Pack(benchmark::State& state) {
-  auto t = vector_type(state.range(0), 64);
-  std::vector<std::byte> src(static_cast<std::size_t>(t->extent()) + 64);
-  std::vector<std::byte> dst(t->size());
+  PackFixture f(vector_type(state.range(0), 64));
   for (auto _ : state) {
-    ddt::pack(src.data(), *t, 1, dst.data());
-    benchmark::DoNotOptimize(dst.data());
+    ddt::pack(f.layout_buf.data(), *f.type, 1, f.stream_buf.data());
+    benchmark::DoNotOptimize(f.stream_buf.data());
   }
   state.SetBytesProcessed(state.iterations() *
-                          static_cast<std::int64_t>(t->size()));
+                          static_cast<std::int64_t>(f.type->size()));
 }
 BENCHMARK(BM_Pack)->Arg(1024)->Arg(16384);
 
 void BM_Unpack(benchmark::State& state) {
-  auto t = vector_type(state.range(0), 64);
-  std::vector<std::byte> packed(t->size());
-  std::vector<std::byte> dst(static_cast<std::size_t>(t->extent()) + 64);
+  PackFixture f(vector_type(state.range(0), 64));
   for (auto _ : state) {
-    ddt::unpack(packed.data(), *t, 1, dst.data());
+    ddt::unpack(f.stream_buf.data(), *f.type, 1, f.layout_buf.data());
+    benchmark::DoNotOptimize(f.layout_buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.type->size()));
+}
+BENCHMARK(BM_Unpack)->Arg(1024)->Arg(16384);
+
+void BM_PackIndexed(benchmark::State& state) {
+  PackFixture f(indexed_type(state.range(0)));
+  for (auto _ : state) {
+    ddt::pack(f.layout_buf.data(), *f.type, 1, f.stream_buf.data());
+    benchmark::DoNotOptimize(f.stream_buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.type->size()));
+}
+BENCHMARK(BM_PackIndexed)->Arg(256)->Arg(4096);
+
+void BM_PackStruct(benchmark::State& state) {
+  auto t = struct_record_type();
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::byte> src(bench::layouts::buffer_bytes(t, count));
+  std::vector<std::byte> dst(t->size() * count);
+  for (auto _ : state) {
+    ddt::pack(src.data(), *t, count, dst.data());
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(state.iterations() *
-                          static_cast<std::int64_t>(t->size()));
+                          static_cast<std::int64_t>(dst.size()));
 }
-BENCHMARK(BM_Unpack)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_PackStruct)->Arg(1024)->Arg(16384);
+
+// Chunked streaming through the Packer/Unpacker interface — the exact
+// path the sender pack baseline and host-unpack verify run. range(0) is
+// the chunk size, range(1) selects the byte engine.
+void BM_PackerStream(benchmark::State& state) {
+  auto t = vector_type(16384, 64);
+  dataloop::CompiledDataloop loops(t);
+  const bool programmed = state.range(1) != 0;
+  auto prog = programmed ? dataloop::compile_program(loops) : nullptr;
+  std::vector<std::byte> src(bench::layouts::buffer_bytes(t, 1));
+  std::vector<std::byte> out(loops.total_bytes());
+  const auto chunk = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    dataloop::Packer packer(loops, src, prog);
+    std::uint64_t at = 0;
+    while (!packer.done()) {
+      at += packer.pack(
+          std::span<std::byte>(out).subspan(at, std::min(chunk,
+                                                         out.size() - at)));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+  state.SetLabel(programmed ? "program" : "interpreter");
+}
+BENCHMARK(BM_PackerStream)
+    ->Args({2048, 0})
+    ->Args({2048, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
+
+void BM_UnpackerStream(benchmark::State& state) {
+  auto t = vector_type(16384, 64);
+  dataloop::CompiledDataloop loops(t);
+  const bool programmed = state.range(1) != 0;
+  auto prog = programmed ? dataloop::compile_program(loops) : nullptr;
+  std::vector<std::byte> in(loops.total_bytes());
+  std::vector<std::byte> dst(bench::layouts::buffer_bytes(t, 1));
+  const auto chunk = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    dataloop::Unpacker unpacker(loops, dst, prog);
+    std::uint64_t at = 0;
+    while (!unpacker.done()) {
+      const std::uint64_t n = std::min(chunk, in.size() - at);
+      unpacker.unpack(std::span<const std::byte>(in).subspan(at, n));
+      at += n;
+    }
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+  state.SetLabel(programmed ? "program" : "interpreter");
+}
+BENCHMARK(BM_UnpackerStream)
+    ->Args({2048, 0})
+    ->Args({2048, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
 
 void BM_SegmentStream(benchmark::State& state) {
   auto t = vector_type(16384, 64);
@@ -110,6 +208,17 @@ void BM_CompileDataloop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompileDataloop);
+
+void BM_CompileProgram(benchmark::State& state) {
+  auto t = vector_type(state.range(0), 64);
+  dataloop::CompiledDataloop loops(t);
+  for (auto _ : state) {
+    auto prog = dataloop::compile_program(loops);
+    benchmark::DoNotOptimize(prog->ops().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompileProgram)->Arg(1024)->Arg(16384);
 
 }  // namespace
 

@@ -1,0 +1,237 @@
+// Pack/unpack kernel throughput: the Segment interpreter vs the
+// compiled flat-program executor vs a manual memcpy bound, over the
+// shared benchmark layouts (bench/lib/layouts.hpp). This is the
+// measured study behind the ddt_help experiment family — "Do MPI
+// Derived Datatypes Actually Help?" asks exactly this question — and
+// the acceptance gate of the flat-program work: the executor must beat
+// the interpreter by >= 2x geomean on the constant-stride layouts.
+//
+// Both engines stream through the chunked Packer/Unpacker interface at
+// packet granularity (2 KiB), so the comparison includes the real
+// resumption cost, not just a one-shot memcpy race. Outputs are
+// byte-compared every rep: a wrong byte is a hard failure, not a fast
+// result.
+//
+// Outside the experiment registry on purpose: wall-clock throughput is
+// nondeterministic and must never enter the deterministic JSON reports.
+// --json writes the small ad-hoc document archived as BENCH_pr8.json
+// and gated by perf_diff against bench/baselines/pack_kernels.json.
+//
+// usage: pack_kernels [--reps N] [--chunk BYTES] [--smoke] [--json PATH]
+//   --smoke: trimmed reps for sanitizer CI; reports but does not
+//            enforce the 2x bar (ASan overhead distorts the ratio).
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/lib/layouts.hpp"
+#include "dataloop/dataloop.hpp"
+#include "dataloop/packer.hpp"
+#include "dataloop/program.hpp"
+
+namespace {
+
+using netddt::bench::layouts::Layout;
+using netddt::dataloop::CompiledDataloop;
+using netddt::dataloop::FlatProgram;
+using netddt::dataloop::Packer;
+using netddt::dataloop::Unpacker;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string layout;
+  const char* op;  // "pack" | "unpack"
+  bool constant_stride;
+  double interpreter = 0;  // bytes/s
+  double program = 0;
+  double manual = 0;
+  double speedup() const { return program / interpreter; }
+};
+
+struct Bench {
+  Layout layout;
+  CompiledDataloop loops;
+  std::shared_ptr<const FlatProgram> prog;
+  std::vector<std::byte> layout_buf;
+  std::vector<std::byte> stream_buf;
+  std::vector<std::byte> check_buf;
+
+  explicit Bench(Layout l)
+      : layout(std::move(l)), loops(layout.type, layout.count) {
+    prog = netddt::dataloop::compile_program(loops);
+    if (prog == nullptr) {
+      std::fprintf(stderr, "FAIL: %s exceeds program limits\n",
+                   layout.name.c_str());
+      std::exit(1);
+    }
+    layout_buf.resize(
+        netddt::bench::layouts::buffer_bytes(layout.type, layout.count));
+    for (std::size_t i = 0; i < layout_buf.size(); ++i) {
+      layout_buf[i] = static_cast<std::byte>(i * 131 + 7);
+    }
+    stream_buf.resize(loops.total_bytes());
+    check_buf.resize(loops.total_bytes());
+  }
+
+  // One full chunked pass; returns wall seconds.
+  double pack_pass(bool programmed, std::uint64_t chunk,
+                   std::vector<std::byte>& out) {
+    Packer packer(loops, layout_buf, programmed ? prog : nullptr);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t at = 0;
+    while (!packer.done()) {
+      at += packer.pack(std::span<std::byte>(out).subspan(
+          at, std::min<std::uint64_t>(chunk, out.size() - at)));
+    }
+    return seconds_since(t0);
+  }
+
+  double unpack_pass(bool programmed, std::uint64_t chunk,
+                     std::vector<std::byte>& dst) {
+    Unpacker unpacker(loops, dst, programmed ? prog : nullptr);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t at = 0;
+    while (!unpacker.done()) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(chunk, stream_buf.size() - at);
+      unpacker.unpack(std::span<const std::byte>(stream_buf).subspan(at, n));
+      at += n;
+    }
+    return seconds_since(t0);
+  }
+};
+
+double geomean(const std::vector<double>& xs) {
+  double log_sum = 0;
+  for (double x : xs) log_sum += std::log(x);
+  return xs.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 7;
+  std::uint64_t chunk = 2048;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      chunk = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--reps N] [--chunk BYTES] [--smoke] "
+                   "[--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) reps = std::min(reps, 2);
+
+  std::vector<Row> rows;
+  for (Layout& l : netddt::bench::layouts::standard_layouts()) {
+    Bench b(std::move(l));
+    const auto bytes = static_cast<double>(b.loops.total_bytes());
+
+    Row pack{b.layout.name, "pack", b.layout.constant_stride};
+    Row unpack{b.layout.name, "unpack", b.layout.constant_stride};
+    for (int rep = 0; rep < reps; ++rep) {
+      // Pack: interpreter into check_buf, program into stream_buf; the
+      // two must agree bytewise before either number counts.
+      pack.interpreter =
+          std::max(pack.interpreter,
+                   bytes / b.pack_pass(false, chunk, b.check_buf));
+      pack.program = std::max(
+          pack.program, bytes / b.pack_pass(true, chunk, b.stream_buf));
+      if (b.stream_buf != b.check_buf) {
+        std::fprintf(stderr, "FAIL: %s pack engines disagree\n",
+                     b.layout.name.c_str());
+        return 1;
+      }
+      {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::memcpy(b.check_buf.data(), b.stream_buf.data(),
+                    b.stream_buf.size());
+        pack.manual = std::max(pack.manual, bytes / seconds_since(t0));
+      }
+
+      // Unpack: scatter the packed stream back out through both engines
+      // into separate buffers, then byte-compare the full layouts.
+      std::vector<std::byte> di(b.layout_buf.size(), std::byte{0x11});
+      std::vector<std::byte> dp(b.layout_buf.size(), std::byte{0x11});
+      unpack.interpreter =
+          std::max(unpack.interpreter, bytes / b.unpack_pass(false, chunk, di));
+      unpack.program =
+          std::max(unpack.program, bytes / b.unpack_pass(true, chunk, dp));
+      if (di != dp) {
+        std::fprintf(stderr, "FAIL: %s unpack engines disagree\n",
+                     b.layout.name.c_str());
+        return 1;
+      }
+      {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::memcpy(dp.data(), di.data(), di.size());
+        unpack.manual = std::max(unpack.manual, bytes / seconds_since(t0));
+      }
+    }
+    rows.push_back(std::move(pack));
+    rows.push_back(std::move(unpack));
+  }
+
+  std::printf("pack/unpack kernel throughput (best of %d, %llu B chunks)\n",
+              reps, static_cast<unsigned long long>(chunk));
+  std::printf("  %-18s %-7s %12s %12s %12s %9s\n", "layout", "op",
+              "interpreter", "program", "manual", "speedup");
+  std::vector<double> stride_speedups;
+  for (const Row& r : rows) {
+    std::printf("  %-18s %-7s %9.2f GB/s %9.2f GB/s %9.2f GB/s %8.2fx\n",
+                r.layout.c_str(), r.op, r.interpreter / 1e9, r.program / 1e9,
+                r.manual / 1e9, r.speedup());
+    if (r.constant_stride) stride_speedups.push_back(r.speedup());
+  }
+  const double gm = geomean(stride_speedups);
+  std::printf("  constant-stride geomean speedup: %.2fx "
+              "(acceptance bar: >= 2x)\n",
+              gm);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"schema_version\": 1,\n"
+        << "  \"benchmark\": \"pack_kernels\",\n  \"unit\": \"bytes/s\",\n"
+        << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"layout\": \"" << r.layout << "\", \"op\": \"" << r.op
+          << "\", \"interpreter\": "
+          << static_cast<std::uint64_t>(r.interpreter)
+          << ", \"program\": " << static_cast<std::uint64_t>(r.program)
+          << ", \"manual\": " << static_cast<std::uint64_t>(r.manual) << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"stride_geomean_speedup\": "
+        << static_cast<std::uint64_t>(gm * 100) / 100.0 << "\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) return 0;  // sanitizer builds report but don't enforce
+  return gm >= 2.0 ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "dataloop/cache.hpp"
 
+#include <list>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -33,16 +34,61 @@ void append_signature(std::string& out, const ddt::Datatype& t) {
   out += ')';
 }
 
+struct Entry {
+  std::shared_ptr<const CompiledDataloop> loops;
+  std::shared_ptr<const FlatProgram> program;
+  bool program_compiled = false;  // true once lowering ran (even if it
+                                  // bailed on limits: program stays null
+                                  // and we never retry)
+  std::list<std::string>::iterator lru;  // position in Cache::order
+};
+
 struct Cache {
   std::mutex mu;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledDataloop>> map;
+  std::unordered_map<std::string, Entry> map;
+  std::list<std::string> order;  // front = most recently used
+  std::uint64_t capacity = kDefaultCacheCapacity;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evicted = 0;
+
+  // Caller holds mu.
+  void touch(Entry& e) {
+    if (e.lru != order.begin()) order.splice(order.begin(), order, e.lru);
+  }
+  void evict_to_capacity() {
+    while (capacity != 0 && map.size() > capacity) {
+      map.erase(order.back());
+      order.pop_back();
+      ++evicted;
+    }
+  }
+  Entry& insert(std::string key, std::shared_ptr<const CompiledDataloop> l) {
+    order.push_front(key);
+    auto [it, inserted] = map.emplace(
+        std::move(key), Entry{std::move(l), nullptr, false, order.begin()});
+    if (!inserted) {
+      // Lost a compile race: keep the incumbent, drop our LRU node.
+      order.pop_front();
+      touch(it->second);
+    } else {
+      ++misses;
+      evict_to_capacity();
+    }
+    return it->second;
+  }
 };
 
 Cache& cache() {
   static Cache c;
   return c;
+}
+
+std::string make_key(const ddt::TypePtr& type, std::uint64_t count) {
+  std::string key = type_signature_string(*type);
+  key += '#';
+  key += std::to_string(count);
+  return key;
 }
 
 }  // namespace
@@ -66,9 +112,7 @@ std::uint64_t type_signature(const ddt::Datatype& type) {
 
 std::shared_ptr<const CompiledDataloop> compile_cached(
     const ddt::TypePtr& type, std::uint64_t count) {
-  std::string key = type_signature_string(*type);
-  key += '#';
-  key += std::to_string(count);
+  std::string key = make_key(type, count);
 
   Cache& c = cache();
   {
@@ -76,35 +120,83 @@ std::shared_ptr<const CompiledDataloop> compile_cached(
     auto it = c.map.find(key);
     if (it != c.map.end()) {
       ++c.hits;
-      return it->second;
+      c.touch(it->second);
+      return it->second.loops;
     }
   }
   // Compile outside the lock: compilation is the expensive part, and two
   // threads racing on the same key just produce one redundant compile.
   auto compiled = std::make_shared<const CompiledDataloop>(type, count);
   std::lock_guard<std::mutex> lock(c.mu);
-  auto [it, inserted] = c.map.emplace(std::move(key), std::move(compiled));
-  if (inserted) {
-    ++c.misses;
-  } else {
-    ++c.hits;  // lost the race; share the winner's loop
+  return c.insert(std::move(key), std::move(compiled)).loops;
+}
+
+CompiledPlan plan_cached(const ddt::TypePtr& type, std::uint64_t count) {
+  std::string key = make_key(type, count);
+
+  Cache& c = cache();
+  std::shared_ptr<const CompiledDataloop> loops;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto it = c.map.find(key);
+    if (it != c.map.end()) {
+      ++c.hits;
+      c.touch(it->second);
+      if (it->second.program_compiled) {
+        return CompiledPlan{it->second.loops, it->second.program};
+      }
+      loops = it->second.loops;  // dataloop cached, program still pending
+    }
   }
-  return it->second;
+  if (!loops) {
+    loops = std::make_shared<const CompiledDataloop>(type, count);
+  }
+  // Lower the program outside the lock too; a racing thread at worst
+  // duplicates the work and shares whichever result landed first.
+  auto program = compile_program(*loops);
+
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto it = c.map.find(key);
+  if (it == c.map.end()) {
+    Entry& e = c.insert(std::move(key), std::move(loops));
+    e.program = std::move(program);
+    e.program_compiled = true;
+    return CompiledPlan{e.loops, e.program};
+  }
+  c.touch(it->second);
+  if (!it->second.program_compiled) {
+    it->second.program = std::move(program);
+    it->second.program_compiled = true;
+  }
+  return CompiledPlan{it->second.loops, it->second.program};
 }
 
 DataloopCacheStats dataloop_cache_stats() {
   Cache& c = cache();
   std::lock_guard<std::mutex> lock(c.mu);
   return DataloopCacheStats{c.hits, c.misses,
-                            static_cast<std::uint64_t>(c.map.size())};
+                            static_cast<std::uint64_t>(c.map.size()),
+                            c.evicted, c.capacity};
+}
+
+std::uint64_t dataloop_cache_set_capacity(std::uint64_t capacity) {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  const std::uint64_t prev = c.capacity;
+  c.capacity = capacity;
+  c.evict_to_capacity();
+  return prev;
 }
 
 void dataloop_cache_clear() {
   Cache& c = cache();
   std::lock_guard<std::mutex> lock(c.mu);
   c.map.clear();
+  c.order.clear();
+  c.capacity = kDefaultCacheCapacity;
   c.hits = 0;
   c.misses = 0;
+  c.evicted = 0;
 }
 
 }  // namespace netddt::dataloop

@@ -6,6 +6,14 @@
 namespace netddt::dataloop {
 
 std::uint64_t Packer::pack(std::span<std::byte> out) {
+  if (program_) {
+    const std::uint64_t last = std::min<std::uint64_t>(
+        pos_ + out.size(), program_->total_bytes());
+    const std::uint64_t n = last - pos_;
+    program_->pack(source_.data(), pos_, last, out.data());
+    pos_ = last;
+    return n;
+  }
   const std::uint64_t first = segment_.position();
   const std::uint64_t last =
       std::min<std::uint64_t>(first + out.size(), segment_.total_bytes());
@@ -20,6 +28,13 @@ std::uint64_t Packer::pack(std::span<std::byte> out) {
 }
 
 void Unpacker::unpack(std::span<const std::byte> in) {
+  if (program_) {
+    const std::uint64_t last = pos_ + in.size();
+    assert(last <= program_->total_bytes() && "chunk overruns the stream");
+    program_->unpack(in.data(), pos_, last, dest_.data());
+    pos_ = last;
+    return;
+  }
   const std::uint64_t first = segment_.position();
   const std::uint64_t last = first + in.size();
   assert(last <= segment_.total_bytes() && "chunk overruns the stream");

@@ -1,15 +1,23 @@
 #pragma once
 // Host-side incremental pack/unpack (the MPI_Pack / MPI_Unpack role,
 // with an implicit position cursor): stream a non-contiguous layout
-// into / out of caller-sized chunks using the segment engine. This is
-// what the pack+send sender baseline and the host-unpack receive
-// baseline execute functionally, and what MPITypes calls
-// MPIT_Type_memcpy (paper Sec 5.1).
+// into / out of caller-sized chunks. This is what the pack+send sender
+// baseline and the host-unpack receive baseline execute functionally,
+// and what MPITypes calls MPIT_Type_memcpy (paper Sec 5.1).
+//
+// Two byte engines sit behind the same chunked interface: the Segment
+// interpreter (default) walks the dataloop tree per chunk, while a
+// compiled FlatProgram (engine == PackEngine::kProgram) executes the
+// layout's fused copy ops directly. A null/failed program silently
+// falls back to the interpreter, so callers can thread a PackEngine
+// through unconditionally.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "dataloop/dataloop.hpp"
+#include "dataloop/program.hpp"
 #include "dataloop/segment.hpp"
 
 namespace netddt::dataloop {
@@ -22,16 +30,26 @@ class Packer {
   Packer(const CompiledDataloop& loops, std::span<const std::byte> source)
       : segment_(loops), source_(source) {}
 
+  /// Program-engine variant: executes `program` when non-null, else
+  /// behaves exactly like the interpreter constructor.
+  Packer(const CompiledDataloop& loops, std::span<const std::byte> source,
+         std::shared_ptr<const FlatProgram> program)
+      : segment_(loops), source_(source), program_(std::move(program)) {}
+
   /// Produce up to out.size() packed bytes; returns the bytes written
   /// (less than requested only when the stream ends).
   std::uint64_t pack(std::span<std::byte> out);
 
-  std::uint64_t position() const { return segment_.position(); }
-  bool done() const { return segment_.finished(); }
+  std::uint64_t position() const {
+    return program_ ? pos_ : segment_.position();
+  }
+  bool done() const { return position() == segment_.total_bytes(); }
 
  private:
   Segment segment_;
   std::span<const std::byte> source_;
+  std::shared_ptr<const FlatProgram> program_;
+  std::uint64_t pos_ = 0;  // stream cursor (program engine)
 };
 
 /// Scatter a packed stream into the layout, chunk by chunk.
@@ -40,15 +58,23 @@ class Unpacker {
   Unpacker(const CompiledDataloop& loops, std::span<std::byte> dest)
       : segment_(loops), dest_(dest) {}
 
+  Unpacker(const CompiledDataloop& loops, std::span<std::byte> dest,
+           std::shared_ptr<const FlatProgram> program)
+      : segment_(loops), dest_(dest), program_(std::move(program)) {}
+
   /// Consume the whole chunk (the next in.size() stream bytes).
   void unpack(std::span<const std::byte> in);
 
-  std::uint64_t position() const { return segment_.position(); }
-  bool done() const { return segment_.finished(); }
+  std::uint64_t position() const {
+    return program_ ? pos_ : segment_.position();
+  }
+  bool done() const { return position() == segment_.total_bytes(); }
 
  private:
   Segment segment_;
   std::span<std::byte> dest_;
+  std::shared_ptr<const FlatProgram> program_;
+  std::uint64_t pos_ = 0;  // stream cursor (program engine)
 };
 
 }  // namespace netddt::dataloop

@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "dataloop/cache.hpp"
 #include "ddt/pack.hpp"
 #include "offload/general.hpp"
 #include "offload/host_model.hpp"
@@ -113,7 +114,8 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
     case StrategyKind::kSpecialized: {
       specialized = SpecializedPlan::create(config.type, config.count,
                                             nic.cost(),
-                                            /*closed_form_only=*/false);
+                                            /*closed_form_only=*/false,
+                                            config.pack_engine);
       res.nic_descriptor_bytes = specialized->descriptor_bytes();
       // Pinned: the state belongs to the one in-flight message, so no
       // eviction policy may reclaim it mid-receive.
@@ -200,6 +202,30 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
     if (attribution != nullptr) run.blame = *attribution;
   }
 
+  // Program-engine shape stats: a pure function of (type, count), so
+  // deterministic; registered lazily so interpreter runs keep their
+  // historical metric set (and JSON) byte-identical.
+  if (config.pack_engine == dataloop::PackEngine::kProgram) {
+    const auto plan = dataloop::plan_cached(config.type, config.count);
+    if (plan.program != nullptr) {
+      const auto& st = plan.program->stats();
+      nic.metrics().counter("dataloop.program.ops").add(st.ops);
+      nic.metrics().counter("dataloop.program.leaf_runs").add(st.leaf_runs);
+      nic.metrics()
+          .counter("dataloop.program.table_entries")
+          .add(st.table_entries);
+      nic.metrics()
+          .counter("dataloop.program.bytes_per_instance")
+          .add(st.bytes);
+      nic.metrics()
+          .counter("dataloop.program.fused_run_ratio_ppm")
+          .add(static_cast<std::uint64_t>(st.fused_run_ratio() * 1e6));
+      nic.metrics()
+          .counter("dataloop.program.bytes_per_op_milli")
+          .add(static_cast<std::uint64_t>(st.bytes_per_op() * 1000.0));
+    }
+  }
+
   // Publish the simulator's own high-watermark, then freeze the registry:
   // everything below reads through the snapshot, not loose struct fields.
   nic.metrics().gauge("sim.engine.queue_depth").set(
@@ -279,8 +305,23 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
     res.host_traffic_bytes = msg_bytes;
     if (config.verify) {
       std::vector<std::byte> reference(buffer_bytes, std::byte{0});
-      ddt::unpack(packed.data(), *config.type, config.count,
-                  reference.data() + shift);
+      std::shared_ptr<const dataloop::FlatProgram> prog;
+      if (config.pack_engine == dataloop::PackEngine::kProgram) {
+        prog = dataloop::plan_cached(config.type, config.count).program;
+      }
+      if (prog != nullptr) {
+        // Program engine: build the reference through the compiled flat
+        // program, streamed at packet granularity (the same resumable
+        // windows the receive path saw).
+        const std::uint64_t step = nic.cost().pkt_payload;
+        for (std::uint64_t at = 0; at < msg_bytes; at += step) {
+          const std::uint64_t end = std::min(msg_bytes, at + step);
+          prog->unpack(packed.data() + at, at, end, reference.data() + shift);
+        }
+      } else if (msg_bytes > 0) {
+        ddt::unpack(packed.data(), *config.type, config.count,
+                    reference.data() + shift);
+      }
       res.verified = true;
       for (const auto& r : regions) {
         const auto at = static_cast<std::int64_t>(shift) + r.offset;

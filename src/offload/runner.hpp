@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "dataloop/program.hpp"
 #include "ddt/datatype.hpp"
 #include "offload/strategy.hpp"
 #include "p4/match.hpp"
@@ -31,6 +32,12 @@ struct ReceiveConfig {
   /// Matching-unit implementation; functional only (identical simulated
   /// timing), so results are byte-identical across engines.
   p4::MatchEngineKind match_engine = p4::MatchEngineKind::kHashed;
+  /// Byte engine for the functional copy paths (verification unpack and
+  /// the specialized strategy's handler). The default interpreter keeps
+  /// output byte-identical to historical runs; kProgram executes the
+  /// compiled flat program (dataloop/program.hpp), fusing adjacent DMA
+  /// regions and publishing `dataloop.program.*` stats.
+  dataloop::PackEngine pack_engine = dataloop::PackEngine::kInterpreter;
   double epsilon = 0.2;  // RW/RO-CP scheduling-overhead budget
   std::uint64_t pkt_buffer_bytes = 512ull << 10;
   /// Reorder payload packets within windows of this many slots (0 = in

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "dataloop/cache.hpp"
 #include "ddt/pack.hpp"
 #include "offload/host_model.hpp"
 #include "p4/put.hpp"
@@ -58,8 +59,22 @@ SendResult run_send(const SendConfig& config) {
     }
   }
   std::vector<std::byte> expected(msg);
-  ddt::pack(source.data() + shift, *config.type, config.count,
-            expected.data());
+  std::shared_ptr<const dataloop::FlatProgram> prog;
+  if (config.pack_engine == dataloop::PackEngine::kProgram) {
+    prog = dataloop::plan_cached(config.type, config.count).program;
+  }
+  if (prog != nullptr) {
+    // Chunked program pack — the same resumable windows the Pack+Send
+    // CPU would stream; byte-identical to ddt::pack by construction.
+    const std::uint64_t step = c.pkt_payload;
+    for (std::uint64_t at = 0; at < msg; at += step) {
+      prog->pack(source.data() + shift, at, std::min(msg, at + step),
+                 expected.data() + at);
+    }
+  } else if (msg > 0) {
+    ddt::pack(source.data() + shift, *config.type, config.count,
+              expected.data());
+  }
 
   sim::Engine engine;
   spin::Host host(msg + 64);

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "dataloop/program.hpp"
 #include "ddt/datatype.hpp"
 #include "sim/time.hpp"
 #include "spin/cost_model.hpp"
@@ -33,6 +34,11 @@ struct SendConfig {
   SendStrategy strategy = SendStrategy::kStreamingPut;
   spin::CostModel cost{};
   std::uint32_t hpus = 16;  // sender-side HPUs (outbound sPIN)
+  /// Byte engine for the functional pack (the Pack+Send bounce-buffer
+  /// fill and the expected-stream construction). Results are
+  /// byte-identical across engines; kProgram exercises the compiled
+  /// flat-program path.
+  dataloop::PackEngine pack_engine = dataloop::PackEngine::kInterpreter;
   bool verify = true;
 };
 

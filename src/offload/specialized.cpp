@@ -72,17 +72,29 @@ void leaf_window(const dataloop::CompiledDataloop& loops,
 
 std::unique_ptr<SpecializedPlan> SpecializedPlan::create(
     const ddt::TypePtr& type, std::uint64_t count,
-    const spin::CostModel& cost, bool closed_form_only) {
+    const spin::CostModel& cost, bool closed_form_only,
+    dataloop::PackEngine engine) {
   auto probe = dataloop::compile_cached(type, count);
   if (!probe->root().leaf && closed_form_only) return nullptr;
   return std::unique_ptr<SpecializedPlan>(
-      new SpecializedPlan(type, count, cost));
+      new SpecializedPlan(type, count, cost, engine));
 }
 
 SpecializedPlan::SpecializedPlan(const ddt::TypePtr& type,
                                  std::uint64_t count,
-                                 const spin::CostModel& cost)
+                                 const spin::CostModel& cost,
+                                 dataloop::PackEngine engine)
     : loops_(dataloop::compile_cached(type, count)), cost_(&cost) {
+  if (engine == dataloop::PackEngine::kProgram) {
+    program_ = dataloop::plan_cached(type, count).program;
+    if (program_ != nullptr) {
+      // The program *is* the NIC-resident descriptor: op array + gather
+      // table. Its handler needs no other plan state.
+      descriptor_bytes_ = program_->descriptor_bytes();
+      closed_form_ = loops_->root().leaf;
+      return;
+    }
+  }
   const dataloop::Dataloop& leaf = loops_->root();
   if (!leaf.leaf) {
     // Region-list fallback: offset + size per region, 16 B entries.
@@ -123,7 +135,30 @@ spin::ExecutionContext SpecializedPlan::context(spin::NicModel& nic) {
   ctx.policy = spin::SchedulingPolicy::Default();
   const spin::CostModel& c = *cost_;
 
-  if (closed_form_) {
+  if (program_ != nullptr) {
+    // Flat-program handler: the compile step already fused adjacent
+    // runs, so every emitted region becomes exactly one DMA write; the
+    // only per-packet lookup is one binary search over the op array to
+    // find the resume point.
+    ctx.payload = [this, &c](spin::HandlerArgs& args) {
+      args.meter.charge(spin::Phase::kInit, c.h_init);
+      const std::uint64_t first = args.pkt.offset;
+      const std::uint64_t last = first + args.pkt.payload_bytes;
+      const auto steps = static_cast<sim::Time>(std::ceil(std::log2(
+          static_cast<double>(program_->ops().size()) + 1.0)));
+      args.meter.charge(spin::Phase::kSetup, steps * sim::ns(8));
+      std::uint64_t stream = 0;
+      program_->for_each_region(
+          first, last, [&](std::int64_t host_off, std::uint64_t len) {
+            args.meter.charge(spin::Phase::kProcessing,
+                              c.h_block_specialized + c.h_dma_issue);
+            args.dma.write(args.meter.total(),
+                           args.buffer_offset + host_off,
+                           {args.pkt.data + stream, len});
+            stream += len;
+          });
+    };
+  } else if (closed_form_) {
     ctx.payload = [this, &c](spin::HandlerArgs& args) {
       args.meter.charge(spin::Phase::kInit, c.h_init);
       const std::uint64_t first = args.pkt.offset;

@@ -18,10 +18,17 @@
 // the number of non-contiguous regions", Sec 3.2.3), trading NIC memory
 // linear in the region count for stateless O(gamma + log n) handlers.
 
+// A third mode rides on the compiled flat programs (dataloop/program.hpp):
+// with PackEngine::kProgram the handler walks the program's fused copy
+// ops instead of the leaf/region lists — adjacent runs are already
+// merged at compile time, so the handler issues one DMA write per fused
+// region and the descriptor is the program itself (ops + gather table).
+
 #include <cstdint>
 #include <memory>
 
 #include "dataloop/dataloop.hpp"
+#include "dataloop/program.hpp"
 #include "ddt/datatype.hpp"
 #include "spin/handler.hpp"
 #include "spin/nic.hpp"
@@ -32,12 +39,18 @@ class SpecializedPlan {
  public:
   /// Build a specialized plan: closed-form when the (normalized) type is
   /// a single leaf dataloop, region-list otherwise. Returns nullptr only
-  /// when `closed_form_only` is set and no closed form exists.
+  /// when `closed_form_only` is set and no closed form exists. With
+  /// `engine == PackEngine::kProgram` the handler executes the cached
+  /// flat program when one compiled within limits (silently staying on
+  /// the interpreter modes otherwise).
   static std::unique_ptr<SpecializedPlan> create(
       const ddt::TypePtr& type, std::uint64_t count,
-      const spin::CostModel& cost, bool closed_form_only = true);
+      const spin::CostModel& cost, bool closed_form_only = true,
+      dataloop::PackEngine engine = dataloop::PackEngine::kInterpreter);
 
   bool closed_form() const { return closed_form_; }
+  /// True when the handler executes the compiled flat program.
+  bool program_mode() const { return program_ != nullptr; }
 
   /// Parameter bytes the host copies to NIC memory: the spin_vec_t-style
   /// descriptor for vector, the displacement (and size) lists for the
@@ -52,11 +65,13 @@ class SpecializedPlan {
 
  private:
   SpecializedPlan(const ddt::TypePtr& type, std::uint64_t count,
-                  const spin::CostModel& cost);
+                  const spin::CostModel& cost, dataloop::PackEngine engine);
 
   // Shared via the process-wide dataloop cache (dataloop/cache.hpp);
   // also reused by create()'s closed-form probe of the same type.
   std::shared_ptr<const dataloop::CompiledDataloop> loops_;
+  // Non-null only in program mode.
+  std::shared_ptr<const dataloop::FlatProgram> program_;
   const spin::CostModel* cost_;
   std::uint64_t descriptor_bytes_ = 0;
   bool closed_form_ = true;

@@ -1,12 +1,17 @@
 #include "fuzz/oracle.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
+#include "dataloop/dataloop.hpp"
+#include "dataloop/program.hpp"
+#include "dataloop/segment.hpp"
 #include "ddt/codec.hpp"
 #include "ddt/pack.hpp"
 #include "offload/runner.hpp"
 #include "p4/packet.hpp"
+#include "sim/rng.hpp"
 
 namespace netddt::fuzz {
 
@@ -48,6 +53,105 @@ bool same_layout(const ddt::Datatype& a, const ddt::Datatype& b,
     }
   }
   return true;
+}
+
+// Three-way byte-engine differential: the compiled flat program, the
+// Segment interpreter and the one-shot ddt::pack/unpack reference must
+// move identical bytes when the stream is cut at seed-derived chunk
+// boundaries and resumed mid-layout. Raw base pointers + shift keep
+// negative-lb layouts inside the buffers (the span-checked Packer API
+// rejects negative offsets by design). Returns the first divergence as
+// a human-readable string, empty on agreement.
+std::string engine_differential(const ddt::TypePtr& type,
+                                std::uint64_t count, std::uint64_t seed) {
+  dataloop::CompiledDataloop loops(type, count);
+  const auto prog = dataloop::compile_program(loops);
+  const std::uint64_t total = loops.total_bytes();
+  if (total == 0) return {};
+  if (prog == nullptr) return {};  // over ProgramLimits: interpreter-only
+  if (prog->total_bytes() != total) {
+    return "program total_bytes " + std::to_string(prog->total_bytes()) +
+           " != dataloop total " + std::to_string(total);
+  }
+
+  const std::int64_t lo =
+      std::min<std::int64_t>({0, type->lb(), type->true_lb()});
+  const std::int64_t hi =
+      std::max<std::int64_t>({0, type->ub(), type->true_ub()});
+  const std::size_t shift = static_cast<std::size_t>(-lo);
+  const std::size_t buf_bytes =
+      shift + static_cast<std::size_t>(type->extent()) * (count - 1) +
+      static_cast<std::size_t>(hi) + 64;
+
+  sim::Rng rng(seed * 0x9E3779B97F4A7C15ull + 17);
+  std::vector<std::byte> src(buf_bytes);
+  for (auto& b : src) b = static_cast<std::byte>(rng.next());
+
+  // Random resumption boundaries, including mid-block cuts.
+  std::vector<std::uint64_t> cuts{0, total};
+  for (int i = 0; i < 8; ++i) cuts.push_back(rng.below(total + 1));
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  auto first_diff = [](const std::vector<std::byte>& a,
+                       const std::vector<std::byte>& b) {
+    std::size_t at = 0;
+    while (at < a.size() && a[at] == b[at]) ++at;
+    return at;
+  };
+
+  // Pack: reference one-shot vs both chunked engines.
+  std::vector<std::byte> ref(total);
+  ddt::pack(src.data() + shift, *type, count, ref.data());
+  std::vector<std::byte> via_prog(total, std::byte{0xee});
+  std::vector<std::byte> via_seg(total, std::byte{0xee});
+  dataloop::Segment seg(loops);
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const std::uint64_t f = cuts[i];
+    const std::uint64_t l = cuts[i + 1];
+    prog->pack(src.data() + shift, f, l, via_prog.data() + f);
+    std::uint64_t at = f;
+    seg.process(f, l, [&](std::int64_t off, std::uint64_t sz) {
+      std::memcpy(via_seg.data() + at, src.data() + shift + off, sz);
+      at += sz;
+    });
+  }
+  if (via_prog != ref) {
+    return "engine pack: program differs from reference at stream byte " +
+           std::to_string(first_diff(via_prog, ref));
+  }
+  if (via_seg != ref) {
+    return "engine pack: segment differs from reference at stream byte " +
+           std::to_string(first_diff(via_seg, ref));
+  }
+
+  // Unpack: scatter the reference stream back through all three paths
+  // over identically-filled buffers; whole-buffer compare catches writes
+  // outside the typed regions too.
+  std::vector<std::byte> up_ref(buf_bytes, std::byte{0x5a});
+  std::vector<std::byte> up_prog(up_ref);
+  std::vector<std::byte> up_seg(up_ref);
+  ddt::unpack(ref.data(), *type, count, up_ref.data() + shift);
+  dataloop::Segment unseg(loops);
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const std::uint64_t f = cuts[i];
+    const std::uint64_t l = cuts[i + 1];
+    prog->unpack(ref.data() + f, f, l, up_prog.data() + shift);
+    std::uint64_t at = f;
+    unseg.process(f, l, [&](std::int64_t off, std::uint64_t sz) {
+      std::memcpy(up_seg.data() + shift + off, ref.data() + at, sz);
+      at += sz;
+    });
+  }
+  if (up_prog != up_ref) {
+    return "engine unpack: program differs from reference at buffer byte " +
+           std::to_string(first_diff(up_prog, up_ref));
+  }
+  if (up_seg != up_ref) {
+    return "engine unpack: segment differs from reference at buffer byte " +
+           std::to_string(first_diff(up_seg, up_ref));
+  }
+  return {};
 }
 
 }  // namespace
@@ -94,6 +198,20 @@ OracleOutcome run_oracle(
     return out;
   }
 
+  // Byte-engine differential (host-side, no simulation): flat program
+  // vs Segment interpreter vs ddt::pack/unpack, resumed at seed-derived
+  // chunk boundaries.
+  try {
+    std::string diff = engine_differential(type, fc.count, fc.seed);
+    if (!diff.empty()) {
+      fail(std::move(diff));
+      return out;
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("engine differential threw: ") + e.what());
+    return out;
+  }
+
   // The reference: host unpack of the exact packed stream run_receive
   // sends, laid into a buffer the size every strategy run reports.
   const auto pattern =
@@ -117,6 +235,10 @@ OracleOutcome run_oracle(
     rc.cost = cost;
     rc.seed = fc.seed;
     rc.faults = faults;
+    // Alternate the byte engine by seed so the program-mode specialized
+    // handler and program-based verify run under the same oracle.
+    rc.pack_engine = (fc.seed & 1) != 0 ? dataloop::PackEngine::kProgram
+                                        : dataloop::PackEngine::kInterpreter;
     rc.validate = true;
     rc.keep_buffer = true;
     offload::ReceiveRun run;
@@ -190,6 +312,8 @@ OracleOutcome run_oracle(
     rc.cost = cost;
     rc.seed = fc.seed;
     rc.faults = faults;
+    rc.pack_engine = (fc.seed & 1) != 0 ? dataloop::PackEngine::kProgram
+                                        : dataloop::PackEngine::kInterpreter;
     rc.validate = true;
     try {
       const auto run = offload::run_receive(rc);

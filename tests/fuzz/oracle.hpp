@@ -8,6 +8,13 @@
 // counts, DMA byte totals). The invariant checker (src/sim/check) runs
 // enabled for every simulation, so internal violations surface even
 // when the final bytes happen to be right.
+//
+// A host-side three-way byte-engine differential runs first: the
+// compiled flat program (dataloop/program.hpp), the Segment interpreter
+// and the one-shot ddt::pack/unpack reference must produce identical
+// bytes with the stream resumed at seed-derived chunk boundaries. The
+// simulated strategies then alternate ReceiveConfig::pack_engine by
+// seed, so both byte engines face the full strategy cross-check.
 
 #include <cstdint>
 #include <string>
