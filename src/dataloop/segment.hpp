@@ -21,11 +21,16 @@
 // because the mapping stream-byte -> buffer-byte is a pure function of
 // the dataloop. Re-processing a window (duplicate packet delivery, or a
 // retransmitted copy on a lossy wire) emits exactly the regions of the
-// first pass, so the rewrite is byte-identical and harmless. The only
-// order-dependent quantities are the *costs* (catchup_bytes, resets) —
-// never the emitted regions. RW-CP relies on this: rolling the master
-// copy back to a checkpoint at or before a stale window and catching up
-// re-emits identical regions for bytes that already landed.
+// first pass, so a plain-write rewrite is byte-identical and harmless.
+// The only order-dependent quantities are the *costs* (catchup_bytes,
+// resets) — never the emitted regions. RW-CP relies on this: rolling the
+// master copy back to a checkpoint at or before a stale window and
+// catching up re-emits identical regions for bytes that already landed.
+// Note the contract covers the *mapping*, not the write: when the
+// emitted regions are applied as read-modify-writes (the compute
+// families, spin::ExecutionContext::rmw()), re-applying is NOT harmless,
+// and the NIC gates duplicate packets on its seen bitmap before the
+// handler ever runs (docs/HANDLERS.md "The idempotence contract").
 
 #include <array>
 #include <cstdint>

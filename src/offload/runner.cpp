@@ -8,6 +8,7 @@
 
 #include "dataloop/cache.hpp"
 #include "ddt/pack.hpp"
+#include "offload/compute_plan.hpp"
 #include "offload/general.hpp"
 #include "offload/host_model.hpp"
 #include "offload/iovec.hpp"
@@ -46,7 +47,21 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   std::optional<sim::check::ScopedEnable> check_scope;
   if (config.validate) check_scope.emplace(true);
 
-  const std::uint64_t msg_bytes = config.type->size() * config.count;
+  // In-network compute (docs/HANDLERS.md): the destination ("logical")
+  // size comes from the type as always, but with the kTransform family
+  // the wire carries the quantized stream, so the message on the wire is
+  // narrower than the logical bytes it reconstructs.
+  const bool compute_on = config.compute.has_value();
+  const spin::ComputeConfig cc =
+      config.compute.value_or(spin::ComputeConfig{});
+  const bool transform =
+      compute_on && cc.family == spin::HandlerFamily::kTransform;
+  const std::uint64_t logical_bytes =
+      config.type->size() * config.count;
+  const std::uint64_t msg_bytes =
+      transform ? logical_bytes / spin::quant_host_elem(cc.quant) *
+                      spin::quant_wire_elem(cc.quant)
+                : logical_bytes;
   // Instance i occupies [i*extent + lb, i*extent + ub): with lb > 0 the
   // last instance reaches beyond count*extent, so size off the upper
   // bound. Negative lb (resized types) puts bytes below offset 0; shift
@@ -57,11 +72,16 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   const std::int64_t hi = std::max(
       {std::int64_t{0}, config.type->ub(), config.type->true_ub()});
   const std::uint64_t shift = static_cast<std::uint64_t>(-lo);
-  const std::uint64_t buffer_bytes =
+  std::uint64_t buffer_bytes =
       shift +
       static_cast<std::uint64_t>(config.type->extent()) *
           (config.count - 1) +
       static_cast<std::uint64_t>(hi) + 64;
+  // kReduce/kTransform land into the contiguous window [0, logical)
+  // regardless of the type's region layout; make sure it fits.
+  if (compute_on) {
+    buffer_bytes = std::max(buffer_bytes, shift + logical_bytes + 64);
+  }
   const std::uint64_t npkt =
       p4::packet_count(msg_bytes, config.cost.pkt_payload);
 
@@ -69,15 +89,32 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   run.buffer_shift = static_cast<std::int64_t>(shift);
   ReceiveResult& res = run.result;
   res.strategy = config.strategy;
-  res.message_bytes = msg_bytes;
+  res.message_bytes = logical_bytes;
+  res.wire_bytes = msg_bytes;
   res.packets = npkt;
 
   const auto regions = config.type->flatten(config.count);
   res.gamma = static_cast<double>(regions.size()) /
               static_cast<double>(npkt);
 
-  // The packed message (what the sender's pack/streaming produced).
-  const auto packed = packed_message_pattern(msg_bytes, config.seed);
+  // The packed message (what the sender's pack/streaming produced). For
+  // compute runs the stream carries valid typed elements (fill_typed),
+  // quantized by the sender for kTransform.
+  std::vector<std::byte> packed;
+  if (!compute_on) {
+    packed = packed_message_pattern(msg_bytes, config.seed);
+  } else if (transform) {
+    const spin::ElemType helem =
+        cc.quant == spin::QuantScheme::kF64ToF32 ? spin::ElemType::kFloat64
+                                                 : spin::ElemType::kFloat32;
+    std::vector<std::byte> logical(logical_bytes);
+    spin::fill_typed(logical.data(), logical_bytes, helem, config.seed);
+    packed.resize(msg_bytes);
+    spin::quantize(packed.data(), logical.data(), logical_bytes, cc.quant);
+  } else {
+    packed.resize(msg_bytes);
+    spin::fill_typed(packed.data(), msg_bytes, cc.elem, config.seed);
+  }
 
   // Host-unpack baseline keeps a bounce buffer next to the receive
   // buffer: [0, buffer) receive area, [buffer, buffer+msg) bounce.
@@ -102,11 +139,23 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
   std::unique_ptr<SpecializedPlan> specialized;
   std::unique_ptr<GeneralPlan> general;
   std::unique_ptr<IovecPlan> iovec;
+  std::unique_ptr<ComputePlan> computep;
   p4::MatchEntry me;
   me.match_bits = 0x5197;
   me.buffer_offset = static_cast<std::int64_t>(shift);
   me.length = buffer_bytes;
 
+  if (compute_on && config.strategy != StrategyKind::kHostUnpack) {
+    // A compute context replaces the byte-moving strategy (the strategy
+    // field still selects the kHostUnpack baseline for ablations).
+    computep = ComputePlan::create(config.type, config.count, nic.cost(),
+                                   config.pack_engine, cc, nic.metrics());
+    assert(computep != nullptr && "compute config not element-eligible");
+    res.nic_descriptor_bytes = computep->descriptor_bytes();
+    nic.memory().alloc(res.nic_descriptor_bytes, "compute",
+                       {.pinned = true});
+    me.context = nic.register_context(computep->context(nic));
+  } else
   switch (config.strategy) {
     case StrategyKind::kHostUnpack:
       me.buffer_offset = static_cast<std::int64_t>(buffer_bytes);  // bounce
@@ -157,12 +206,21 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
       break;
     }
   }
-  if (me.context != nullptr) {
-    // Handler spans in traces carry the strategy name.
+  if (me.context != nullptr && computep == nullptr) {
+    // Handler spans in traces carry the strategy name (compute contexts
+    // already named themselves after their family).
     static_cast<spin::ExecutionContext*>(me.context)->label =
         strategy_name(config.strategy).data();
   }
   nic.match_list().append(p4::ListKind::kPriority, me);
+
+  if (computep != nullptr) {
+    // Reductions combine into existing buffer contents: pre-load the
+    // destination with the deterministic typed pattern the references
+    // also start from.
+    computep->init_fill(host.memory().data(),
+                        static_cast<std::int64_t>(shift), config.seed);
+  }
 
   // Stream the message (t = 0 is the ready-to-receive instant).
   const std::uint64_t msg_id = 1;
@@ -225,6 +283,12 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
           .add(static_cast<std::uint64_t>(st.bytes_per_op() * 1000.0));
     }
   }
+  // Compute-family byte accounting (lazily registered: only compute runs
+  // publish nic.compute.*, keeping historical JSON byte-identical).
+  if (compute_on) {
+    nic.metrics().counter("nic.compute.host_bytes").add(logical_bytes);
+    nic.metrics().counter("nic.compute.wire_bytes").add(msg_bytes);
+  }
 
   // Publish the simulator's own high-watermark, then freeze the registry:
   // everything below reads through the snapshot, not loose struct fields.
@@ -285,12 +349,21 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
 
   if (host_based) {
     // The CPU unpack happens after the full message landed in the
-    // bounce buffer.
-    const auto est =
-        host_unpack_estimate(*config.type, config.count, config.cost);
-    res.msg_time += est.unpack_time;
-    res.e2e_time += est.unpack_time;
-    res.host_traffic_bytes = est.traffic_bytes;
+    // bounce buffer. For compute baselines the estimate additionally
+    // covers the CPU-side reduction/dequantize pass (ablation_reduce).
+    if (compute_on) {
+      const auto est =
+          host_compute_estimate(config.type, config.count, cc, config.cost);
+      res.msg_time += est.time;
+      res.e2e_time += est.time;
+      res.host_traffic_bytes = est.traffic_bytes;
+    } else {
+      const auto est =
+          host_unpack_estimate(*config.type, config.count, config.cost);
+      res.msg_time += est.unpack_time;
+      res.e2e_time += est.unpack_time;
+      res.host_traffic_bytes = est.traffic_bytes;
+    }
     if (config.verify) {
       // The bounce buffer must hold the packed stream; unpack it
       // functionally to mirror what the CPU would produce. (A 0-byte
@@ -299,6 +372,19 @@ ReceiveRun run_receive(const ReceiveConfig& config) {
           msg_bytes == 0 ||
           std::memcmp(host.memory().data() + buffer_bytes, packed.data(),
                       msg_bytes) == 0;
+    }
+  } else if (computep != nullptr) {
+    // Offloaded compute: the destination crosses memory once, twice for
+    // RMW families (the DMA engine reads it back before combining).
+    res.host_traffic_bytes = logical_bytes * (transform ? 1u : 2u);
+    if (config.verify) {
+      // Whole-buffer compare against the shared host reference: init
+      // fill + exactly one combined contribution per element.
+      std::vector<std::byte> reference(buffer_bytes, std::byte{0});
+      computep->host_reference(reference.data(), run.buffer_shift,
+                               packed.data(), msg_bytes, config.seed);
+      res.verified = std::memcmp(host.memory().data(), reference.data(),
+                                 buffer_bytes) == 0;
     }
   } else {
     // Offloaded: the only main-memory traffic is the scattered message.

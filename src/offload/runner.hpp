@@ -18,6 +18,7 @@
 #include "sim/faults/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace/trace.hpp"
+#include "spin/compute.hpp"
 #include "spin/cost_model.hpp"
 
 namespace netddt::offload {
@@ -53,6 +54,16 @@ struct ReceiveConfig {
   /// Retransmission policy of the reliable transport; only read when
   /// `faults` is active.
   p4::RetransmitConfig retransmit{};
+  /// In-network compute request (docs/HANDLERS.md). When set (and the
+  /// strategy is not kHostUnpack) the receive installs a ComputePlan
+  /// context instead of a byte-moving strategy: the stream carries typed
+  /// elements (fill_typed — or their quantized wire form for kTransform)
+  /// and verification compares against the compute host reference. With
+  /// kHostUnpack the stream lands in the bounce buffer as usual and the
+  /// CPU-side reduction estimate is added to the reported times — the
+  /// ablation_reduce baseline. Runs without `compute` are byte-identical
+  /// to builds without the compute subsystem.
+  std::optional<spin::ComputeConfig> compute;
   bool verify = true;
   /// Force the src/sim/check invariant checker on for this run (same
   /// effect as SPIN_CHECK=1 but scoped to the calling thread, so

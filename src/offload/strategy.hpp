@@ -23,6 +23,10 @@ std::string_view strategy_name(StrategyKind kind);
 struct ReceiveResult {
   StrategyKind strategy{};
   std::uint64_t message_bytes = 0;
+  /// Bytes that crossed the wire. Equal to message_bytes except for the
+  /// kTransform compute family, where the sender quantized the stream
+  /// (wire_bytes < message_bytes is the transform's whole point).
+  std::uint64_t wire_bytes = 0;
   std::uint64_t packets = 0;
   double gamma = 0.0;  // average contiguous regions per packet
 

@@ -61,6 +61,19 @@ struct CostModel {
   sim::Time h_complete = sim::ns(30);   // completion handler body
   sim::Time vhpu_switch = sim::ns(20);  // vHPU context switch on an HPU
 
+  // --- In-network compute handlers (docs/HANDLERS.md) ---------------------
+  // ALU charges per element on an HPU (A15-class integer/FP lane; the
+  // handler touches every element once, so these bound compute line rate:
+  // a 2 KiB packet of f32 costs 512 * h_alu_per_elem = 1.02 us, just
+  // inside the 16-HPU Fig 8 budget of 1.31 us).
+  sim::Time h_alu_per_elem = sim::ns(2);    // one reduce lane op
+  sim::Time h_quant_per_elem = sim::ns(3);  // widen one wire element
+  sim::Time h_frag_stage = sim::ns(35);     // stage/complete a split element
+  // Extra landing latency of a read-modify-write DMA: the engine must
+  // fetch the destination line before the combined write posts (a
+  // non-posted read turnaround folded into the RMW TLP pair).
+  sim::Time pcie_rmw_turnaround = sim::ns(220);
+
   // --- Portals 4 iovec comparator (paper Sec 5.3) -------------------------
   sim::Time iovec_per_block = sim::ns(20);  // consume one s/g entry
 
@@ -72,6 +85,10 @@ struct CostModel {
   // the type on the host CPU plus copying segments across PCIe.
   sim::Time host_checkpoint_walk_per_block = sim::from_ns(2.5);
   std::uint64_t cacheline_bytes = 64;  // Fig 17 traffic accounting
+  // Host-side reduction baseline (ablation_reduce): per-element ALU on
+  // the same cold-cache CPU; the dominant cost is the 3x memory traffic
+  // (stream read + destination read + write-back) at host_copy_gBps.
+  sim::Time host_reduce_per_elem = sim::from_ns(0.8);
 
   // Derived helpers ---------------------------------------------------------
   sim::Time wire_time(std::uint64_t bytes) const {
@@ -87,6 +104,14 @@ struct CostModel {
   /// DMA engine occupancy for one write request (TLP header included).
   sim::Time dma_service(std::uint64_t bytes) const {
     return dma_req_service + pcie_transfer(bytes + pcie_tlp_header_bytes);
+  }
+  /// Read-modify-write request: the destination crosses PCIe twice
+  /// (read completion + combined write), so occupancy doubles. Still
+  /// under the 81.92 ns packet interval for a 2 KiB payload (~66 ns),
+  /// which is what keeps offloaded reduction at line rate.
+  sim::Time dma_rmw_service(std::uint64_t bytes) const {
+    return dma_req_service +
+           pcie_transfer(2 * (bytes + pcie_tlp_header_bytes));
   }
 };
 

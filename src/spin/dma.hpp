@@ -27,6 +27,7 @@
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace/trace.hpp"
+#include "spin/compute.hpp"
 #include "spin/cost_model.hpp"
 
 namespace netddt::spin {
@@ -63,6 +64,15 @@ class DmaEngine {
                 std::span<const std::byte> src, bool signal_event,
                 std::uint64_t msg_id);
 
+  /// Read-modify-write request (compute handler families): at landing the
+  /// destination becomes dst[i] = dst[i] (op) src[i] instead of a copy.
+  /// Costs dma_rmw_service occupancy plus a pcie_rmw_turnaround on top of
+  /// the posted-write latency. Never signals completion (the zero-byte
+  /// completion write stays a plain write).
+  void write_rmw_at(sim::Time when, std::int64_t host_off,
+                    std::span<const std::byte> src, ReduceOp op,
+                    ElemType elem, std::uint64_t msg_id);
+
   std::uint64_t total_writes() const { return writes_->value(); }
   std::uint64_t total_bytes() const { return bytes_->value(); }
   std::size_t queue_depth() const {
@@ -85,9 +95,18 @@ class DmaEngine {
     std::int64_t host_off;
     std::span<const std::byte> src;
     bool signal_event;
+    // The compute-family fields live in the padding after signal_event:
+    // Request stays 48 bytes, so [this, req] captures keep fitting the
+    // engine's 64-byte inline callback storage (heap_allocs stays 0).
+    bool rmw = false;  // apply `op` over `elem` lanes instead of memcpy
+    ReduceOp op = ReduceOp::kSum;
+    ElemType elem = ElemType::kInt8;
     std::uint64_t msg_id;
     sim::Time enqueued;
   };
+  static_assert(sizeof(Request) == 48, "keep DMA callbacks heap-free");
+
+  void enqueue_at(sim::Time when, Request req);
 
   void start_next();
   void sample();

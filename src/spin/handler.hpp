@@ -15,6 +15,7 @@
 
 #include "p4/packet.hpp"
 #include "sim/time.hpp"
+#include "spin/compute.hpp"
 
 namespace netddt::spin {
 
@@ -39,21 +40,42 @@ class ChargeMeter {
 /// Handler-side DMA interface: issue fire-and-forget writes to host
 /// memory. `signal_event` corresponds to omitting the paper's NO_EVENT
 /// option (only the final zero-byte write signals).
+///
+/// Compute families additionally issue read-modify-write requests via
+/// `rmw()`: the DMA engine reads the destination, applies the elementwise
+/// reduction, and writes the result back (docs/HANDLERS.md). RMW requests
+/// are NOT idempotent under replay — contexts issuing them must set a
+/// HandlerFamily with ExecutionContext::rmw() so the NIC gates duplicate
+/// packets before the handler re-runs.
 class DmaIssuer {
  public:
   using IssueFn = std::function<void(sim::Time issue_offset,
                                      std::int64_t host_off,
                                      std::span<const std::byte> src,
                                      bool signal_event)>;
+  using RmwFn = std::function<void(sim::Time issue_offset,
+                                   std::int64_t host_off,
+                                   std::span<const std::byte> src,
+                                   ReduceOp op, ElemType elem)>;
   explicit DmaIssuer(IssueFn fn) : fn_(std::move(fn)) {}
+  DmaIssuer(IssueFn fn, RmwFn rmw)
+      : fn_(std::move(fn)), rmw_(std::move(rmw)) {}
 
   void write(sim::Time issue_offset, std::int64_t host_off,
              std::span<const std::byte> src, bool signal_event = false) {
     fn_(issue_offset, host_off, src, signal_event);
   }
 
+  /// dst[i] = dst[i] (op) src[i] at landing time; src must stay alive
+  /// until the write lands (same contract as `write`).
+  void rmw(sim::Time issue_offset, std::int64_t host_off,
+           std::span<const std::byte> src, ReduceOp op, ElemType elem) {
+    rmw_(issue_offset, host_off, src, op, elem);
+  }
+
  private:
   IssueFn fn_;
+  RmwFn rmw_;
 };
 
 struct HandlerArgs {
@@ -93,6 +115,19 @@ struct ExecutionContext {
   /// Names the handler spans in traces (e.g. the offload strategy);
   /// must outlive the context — a literal or a Tracer-interned string.
   const char* label = "handler";
+  /// Which handler family this context implements (docs/HANDLERS.md).
+  /// kScatter covers every byte-moving strategy; compute families change
+  /// the NIC's duplicate-replay contract via rmw() below.
+  HandlerFamily family = HandlerFamily::kScatter;
+  /// True when payload handlers issue read-modify-write DMA: the NIC
+  /// must then suppress handler replay for duplicate packets (the seen
+  /// bitmap gates them) instead of relying on idempotent rewrites.
+  /// kTransform stays false: dequantize emits plain writes of identical
+  /// bytes, so replay is harmless — the historical contract.
+  bool rmw() const {
+    return family == HandlerFamily::kReduce ||
+           family == HandlerFamily::kAccumulate;
+  }
 };
 
 }  // namespace netddt::spin

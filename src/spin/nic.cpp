@@ -111,6 +111,17 @@ void NicModel::deliver(const p4::Packet& pkt) {
     ++st.info.packets;
   } else {
     dup_counter().add(1);
+    if (st.ctx != nullptr && st.ctx->rmw()) {
+      // Read-modify-write families (reduce, accumulate) must not re-run a
+      // handler for a replayed packet: the contribution would be applied
+      // twice. The seen bitmap gates the replay here; completion
+      // bookkeeping still advances in case the duplicate is the held-back
+      // completion packet itself.
+      if (pkt.last) st.completion_arrived = true;
+      compute_dup_counter().add(1);
+      maybe_dispatch_completion(st);
+      return;
+    }
   }
   if (pkt.last) st.completion_arrived = true;
 
@@ -136,6 +147,16 @@ sim::Counter& NicModel::dup_counter() {
     dup_counter_ = &metrics_.counter("nic.pkts.duplicate");
   }
   return *dup_counter_;
+}
+
+sim::Counter& NicModel::compute_dup_counter() {
+  // Lazy for the same reason as dup_counter(): runs without compute
+  // contexts (or without duplicates) publish no nic.compute.* metrics,
+  // keeping historical JSON byte-identical.
+  if (compute_dup_counter_ == nullptr) {
+    compute_dup_counter_ = &metrics_.counter("nic.compute.dup_suppressed");
+  }
+  return *compute_dup_counter_;
 }
 
 void NicModel::deliver_rdma(MsgState& st, const p4::Packet& pkt) {
@@ -211,14 +232,21 @@ void NicModel::deliver_spin(MsgState& st, const p4::Packet& pkt) {
                                           cost_.pkt_payload),
                 -1});
             ChargeMeter meter;
-            DmaIssuer issuer([this, &meter, &pkt_copy, start](
-                                 sim::Time issue_offset,
-                                 std::int64_t host_off,
-                                 std::span<const std::byte> src,
-                                 bool signal_event) {
-              dma_.write_at(start + issue_offset, host_off, src,
-                            signal_event, pkt_copy.msg_id);
-            });
+            DmaIssuer issuer(
+                [this, &pkt_copy, start](sim::Time issue_offset,
+                                         std::int64_t host_off,
+                                         std::span<const std::byte> src,
+                                         bool signal_event) {
+                  dma_.write_at(start + issue_offset, host_off, src,
+                                signal_event, pkt_copy.msg_id);
+                },
+                [this, &pkt_copy, start](sim::Time issue_offset,
+                                         std::int64_t host_off,
+                                         std::span<const std::byte> src,
+                                         ReduceOp op, ElemType elem) {
+                  dma_.write_rmw_at(start + issue_offset, host_off, src, op,
+                                    elem, pkt_copy.msg_id);
+                });
             HandlerArgs args{pkt_copy, st.entry.buffer_offset, meter,
                              issuer};
             if (run_header) st.ctx->header(args);

@@ -85,10 +85,19 @@ class NicModel {
 
   /// Deliver one packet at the current simulated time (called by Link).
   /// Any packet of an unknown message runs the matching unit (match bits
-  /// ride on every packet), so a lossy wire may open a message with a
-  /// payload packet. Duplicate deliveries re-run handlers (idempotent:
-  /// they rewrite identical bytes); re-arrivals after the message
-  /// completed are dropped and counted under "nic.pkts.duplicate".
+  /// ride on every packet — under MatchEngineKind::kHashed a constant-
+  /// time bucket probe, same simulated cost as the linear walk), so a
+  /// lossy wire may open a message with a payload packet.
+  ///
+  /// Duplicate-delivery contract (docs/HANDLERS.md): for byte-moving
+  /// families (kScatter, kTransform) duplicates re-run handlers — they
+  /// rewrite identical bytes, so replay is harmless. For read-modify-
+  /// write families (ExecutionContext::rmw(): kReduce, kAccumulate) the
+  /// seen bitmap gates replay and the duplicate is dropped before its
+  /// handler runs, counted under "nic.compute.dup_suppressed" — a
+  /// re-applied contribution would double-accumulate. Re-arrivals after
+  /// the message completed are dropped and counted under
+  /// "nic.pkts.duplicate" either way.
   void deliver(const p4::Packet& pkt);
 
   /// Per-message observation for benchmarks.
@@ -146,6 +155,9 @@ class NicModel {
   /// "nic.pkts.duplicate", registered on the first duplicate observed so
   /// lossless runs publish no reliability counters.
   sim::Counter& dup_counter();
+  /// "nic.compute.dup_suppressed": duplicates gated before an RMW-family
+  /// handler could re-run. Lazy for the same JSON-stability reason.
+  sim::Counter& compute_dup_counter();
 
   void deliver_rdma(MsgState& st, const p4::Packet& pkt);
   void deliver_spin(MsgState& st, const p4::Packet& pkt);
@@ -179,6 +191,7 @@ class NicModel {
   sim::Counter* handler_processing_;   // nic.handler.processing_time_ps
   sim::Counter* msgs_completed_;       // nic.msgs.completed
   sim::Counter* dup_counter_ = nullptr;  // nic.pkts.duplicate (lazy)
+  sim::Counter* compute_dup_counter_ = nullptr;  // nic.compute.* (lazy)
 
   sim::trace::Tracer* tracer_ = nullptr;
   std::uint32_t inbound_track_ = 0;  // packet arrivals + message events

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ddt/darray.hpp"
+#include "offload/compute_plan.hpp"
 #include "p4/packet.hpp"
 
 namespace netddt::fuzz {
@@ -305,16 +306,49 @@ FuzzCase generate(std::uint64_t seed) {
   }
   // Bound the simulation: retry until the message packetizes into a
   // manageable count (rng state advances, so this stays deterministic).
-  for (int attempt = 0; attempt < 16; ++attempt) {
+  ddt::TypePtr type;
+  for (int attempt = 0; attempt < 16 && type == nullptr; ++attempt) {
     const int depth = 1 + static_cast<int>(rng.below(3));
     fc.spec = generate_spec(rng, depth);
-    const auto type = build(fc.spec);
+    auto t = build(fc.spec);
     const std::uint64_t npkt =
-        p4::packet_count(type->size() * fc.count, fc.pkt_payload);
-    if (npkt <= 1200) return fc;
+        p4::packet_count(t->size() * fc.count, fc.pkt_payload);
+    if (npkt <= 1200) type = std::move(t);
   }
-  // Give up on a small case: fall back to a depth-1 spec.
-  fc.spec = generate_spec(rng, 1);
+  if (type == nullptr) {
+    // Give up on a small case: fall back to a depth-1 spec.
+    fc.spec = generate_spec(rng, 1);
+    type = build(fc.spec);
+  }
+
+  // Compute request: ~1/3 of cases also run an in-network reduction or
+  // scatter-accumulate against the compute host reference. The element
+  // type is picked eligibility-aware from a seed-rotated order (kInt8 is
+  // always eligible, so the pick never comes up empty on nonempty types).
+  // All draws happen after the spec so plain-case specs are unchanged.
+  if (rng.chance(0.35)) {
+    spin::ComputeConfig cc;
+    cc.family = rng.chance(0.5) ? spin::HandlerFamily::kReduce
+                                : spin::HandlerFamily::kAccumulate;
+    cc.op = static_cast<spin::ReduceOp>(rng.below(3));
+    constexpr spin::ElemType kElems[] = {
+        spin::ElemType::kInt8, spin::ElemType::kInt32,
+        spin::ElemType::kInt64, spin::ElemType::kFloat32,
+        spin::ElemType::kFloat64};
+    const std::uint64_t start = rng.below(5);
+    for (int i = 0; i < 5 && !fc.compute; ++i) {
+      cc.elem = kElems[(start + i) % 5];
+      if (offload::ComputePlan::elem_eligible(type, fc.count, cc)) {
+        fc.compute = true;
+        fc.cc = cc;
+      }
+    }
+    // Dup-heavy fault plans are the interesting ones for RMW handlers: a
+    // replayed payload must not accumulate twice. Bias duplication up.
+    if (fc.compute && fc.lossy) {
+      fc.dup_rate = 0.1 + rng.uniform() * 0.5;
+    }
+  }
   return fc;
 }
 
@@ -356,7 +390,8 @@ std::uint64_t measure(const Spec& s) {
 }
 
 std::uint64_t measure(const FuzzCase& fc) {
-  return measure(fc.spec) + fc.count + (fc.lossy ? 1 : 0);
+  return measure(fc.spec) + fc.count + (fc.lossy ? 1 : 0) +
+         (fc.compute ? 1 : 0);
 }
 
 namespace {
@@ -542,6 +577,12 @@ FuzzCase shrink(const FuzzCase& fc,
   while (progress) {
     progress = false;
     std::vector<FuzzCase> candidates;
+    if (cur.compute) {
+      FuzzCase t = cur;
+      t.compute = false;
+      t.cc = spin::ComputeConfig{};
+      candidates.push_back(t);
+    }
     if (cur.lossy) {
       FuzzCase t = cur;
       t.lossy = false;
@@ -657,6 +698,11 @@ std::string to_string(const FuzzCase& fc) {
   if (fc.lossy) {
     os << " lossy(drop=" << fc.drop_rate << ",dup=" << fc.dup_rate
        << ",reorder=" << fc.reorder_rate << ",window=" << fc.reorder_window
+       << ')';
+  }
+  if (fc.compute) {
+    os << " compute(" << spin::family_name(fc.cc.family) << ','
+       << spin::op_name(fc.cc.op) << ',' << spin::elem_name(fc.cc.elem)
        << ')';
   }
   os << ' ';

@@ -31,6 +31,7 @@
 
 #include "ddt/datatype.hpp"
 #include "sim/rng.hpp"
+#include "spin/compute.hpp"
 
 namespace netddt::fuzz {
 
@@ -96,6 +97,17 @@ struct FuzzCase {
   bool lossy = false;
   double drop_rate = 0.0, dup_rate = 0.0, reorder_rate = 0.0;
   std::uint32_t reorder_window = 4;
+
+  /// In-network compute request (docs/HANDLERS.md). When set, the oracle
+  /// additionally runs the receive with `cc` installed and demands the
+  /// buffer be bit-identical to ComputePlan::host_reference — under both
+  /// dataloop walks, and under the same fault schedule as the byte-moving
+  /// runs (dup-heavy plans prove RMW idempotence). Generation picks
+  /// family/op/elem eligibility-aware (ComputePlan::elem_eligible), but
+  /// shrink edits may break eligibility; the oracle skips the compute
+  /// section then, so such edits can't masquerade as progress.
+  bool compute = false;
+  spin::ComputeConfig cc{};  // family kReduce or kAccumulate when compute
 };
 
 /// Materialize the spec through the real datatype factories.

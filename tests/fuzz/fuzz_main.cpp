@@ -126,12 +126,14 @@ int main(int argc, char** argv) {
   for (const SeedReport& report : reports) {
     if (report.outcome.ok) {
       if (opt.verbose) {
-        std::printf("seed %llu ok bytes=%llu pkts=%llu\n",
+        std::printf("seed %llu ok bytes=%llu pkts=%llu | %s\n",
                     static_cast<unsigned long long>(report.seed),
                     static_cast<unsigned long long>(
                         report.outcome.msg_bytes),
                     static_cast<unsigned long long>(
-                        report.outcome.packets));
+                        report.outcome.packets),
+                    netddt::fuzz::to_string(
+                        netddt::fuzz::generate(report.seed)).c_str());
       }
       continue;
     }

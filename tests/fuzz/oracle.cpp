@@ -9,6 +9,7 @@
 #include "dataloop/segment.hpp"
 #include "ddt/codec.hpp"
 #include "ddt/pack.hpp"
+#include "offload/compute_plan.hpp"
 #include "offload/runner.hpp"
 #include "p4/packet.hpp"
 #include "sim/rng.hpp"
@@ -324,6 +325,88 @@ OracleOutcome run_oracle(
     } catch (const std::exception& e) {
       fail(std::string("Host baseline threw: ") + e.what());
       return out;
+    }
+  }
+
+  // In-network compute differential: rerun the receive with the compute
+  // handler installed (both dataloop walks) under the same fault schedule
+  // and demand the buffer be bit-identical to an independently rebuilt
+  // ComputePlan::host_reference. Dup-heavy plans prove the RMW
+  // idempotence contract: a replayed packet must not accumulate twice.
+  // Shrink edits may have broken element eligibility; skip then (the
+  // byte-moving sections above already ran).
+  if (fc.compute &&
+      offload::ComputePlan::elem_eligible(type, fc.count, fc.cc)) {
+    const std::uint64_t logical = type->size() * fc.count;
+    std::vector<std::byte> stream(logical);
+    spin::fill_typed(stream.data(), logical, fc.cc.elem, fc.seed);
+    for (const auto engine : {dataloop::PackEngine::kInterpreter,
+                              dataloop::PackEngine::kProgram}) {
+      const char* ename =
+          engine == dataloop::PackEngine::kProgram ? "program" : "interp";
+      offload::ReceiveConfig rc;
+      rc.type = type;
+      rc.count = fc.count;
+      rc.strategy = offload::StrategyKind::kRwCp;
+      rc.cost = cost;
+      rc.seed = fc.seed;
+      rc.faults = faults;
+      rc.pack_engine = engine;
+      rc.compute = fc.cc;
+      rc.validate = true;
+      rc.keep_buffer = true;
+      offload::ReceiveRun run;
+      try {
+        run = offload::run_receive(rc);
+      } catch (const std::exception& e) {
+        fail(std::string("compute/") + ename + " threw: " + e.what());
+        return out;
+      }
+      if (!run.result.verified) {
+        fail(std::string("compute/") + ename +
+             ": buffer differs from compute host reference");
+        return out;
+      }
+      // Independent cross-check of the runner's own verification: rebuild
+      // the reference here from the typed stream.
+      sim::MetricsRegistry scratch;
+      const auto plan = offload::ComputePlan::create(type, fc.count, cost,
+                                                     engine, fc.cc, scratch);
+      if (plan == nullptr) {
+        fail(std::string("compute/") + ename +
+             ": elem_eligible true but create() refused");
+        return out;
+      }
+      std::vector<std::byte> expect(run.buffer.size());
+      plan->host_reference(expect.data(), run.buffer_shift, stream.data(),
+                           stream.size(), fc.seed);
+      if (run.buffer != expect) {
+        std::size_t at = 0;
+        while (at < expect.size() && run.buffer[at] == expect[at]) ++at;
+        fail(std::string("compute/") + ename +
+             ": oracle reference differs at buffer byte " +
+             std::to_string(at));
+        return out;
+      }
+      // Idempotence evidence: every duplicate delivery that reached the
+      // RMW context was gated by the seen bitmap.
+      const std::uint64_t suppressed =
+          run.metrics.counter("nic.compute.dup_suppressed");
+      if (run.result.dup_deliveries > 0 && suppressed == 0) {
+        fail(std::string("compute/") + ename + ": " +
+             std::to_string(run.result.dup_deliveries) +
+             " duplicate deliveries but none suppressed");
+        return out;
+      }
+      if (!fc.lossy) {
+        const std::uint64_t dma = run.metrics.counter("nic.dma.bytes");
+        if (dma != logical) {
+          fail(std::string("compute/") + ename + ": lossless DMA total " +
+               std::to_string(dma) + " != logical bytes " +
+               std::to_string(logical));
+          return out;
+        }
+      }
     }
   }
   return out;

@@ -277,6 +277,48 @@ TEST(FaultRunner, DuplicateHeavyDeliveryIsIdempotentForRwCp) {
   EXPECT_EQ(run.result.pkts_dropped, 0u);
 }
 
+TEST(FaultRunner, DuplicateHeavyReduceDoesNotDoubleAccumulate) {
+  // The RMW counterpart of the RW-CP case above: a reduction handler is
+  // NOT idempotent, so replayed packets must be gated at the NIC (seen
+  // bitmap) instead of re-run. verified == true proves no contribution
+  // was applied twice — the reference combines each stream element
+  // exactly once.
+  offload::ReceiveConfig cfg;
+  cfg.type = Datatype::contiguous(16384, Datatype::int32());
+  cfg.strategy = StrategyKind::kRwCp;
+  cfg.compute = spin::ComputeConfig{};  // streaming int32 sum
+  cfg.faults.dup_rate = 0.5;
+  cfg.faults.reorder_rate = 0.3;
+  cfg.faults.seed = 77;
+  const auto run = offload::run_receive(cfg);
+  EXPECT_TRUE(run.result.verified);
+  EXPECT_GT(run.result.dup_deliveries, 0u);
+  // Every duplicate that reached the RMW context was suppressed.
+  EXPECT_EQ(run.metrics.counter("nic.compute.dup_suppressed"),
+            run.result.dup_deliveries);
+}
+
+TEST(FaultRunner, DuplicateHeavyAccumulateDoesNotDoubleAccumulate) {
+  // Same contract through the scatter-accumulate walk: strided target,
+  // 29-byte payloads (elements straddle packets), drops + dups + reorder.
+  offload::ReceiveConfig cfg;
+  cfg.type = Datatype::vector(1024, 3, 5, Datatype::int32());
+  cfg.strategy = StrategyKind::kRwCp;
+  cfg.cost.pkt_payload = 29;
+  spin::ComputeConfig cc;
+  cc.family = spin::HandlerFamily::kAccumulate;
+  cc.op = spin::ReduceOp::kMax;
+  cfg.compute = cc;
+  cfg.faults.drop_rate = 0.1;
+  cfg.faults.dup_rate = 0.4;
+  cfg.faults.reorder_rate = 0.3;
+  cfg.faults.seed = 9;
+  const auto run = offload::run_receive(cfg);
+  EXPECT_TRUE(run.result.verified);
+  EXPECT_GT(run.result.dup_deliveries, 0u);
+  EXPECT_GT(run.metrics.counter("nic.compute.dup_suppressed"), 0u);
+}
+
 TEST(FaultRunner, SameFaultSeedIsDeterministic) {
   offload::ReceiveConfig cfg;
   cfg.type = Datatype::hvector(2048, 128, 256, Datatype::int8());
@@ -316,6 +358,12 @@ TEST(FaultRunner, InactiveFaultsPublishNoReliabilityMetrics) {
   EXPECT_FALSE(run.metrics.has_counter("p4.acks"));
   EXPECT_FALSE(run.metrics.has_counter("nic.pkts.duplicate"));
   EXPECT_EQ(run.result.retransmits, 0u);
+  // Same inertness rule for the compute plane: a run with no
+  // ReceiveConfig::compute request registers no nic.compute.* metrics.
+  for (const auto& [name, value] : run.metrics.counters) {
+    EXPECT_NE(name.rfind("nic.compute.", 0), 0u)
+        << name << " registered on a non-compute run";
+  }
 }
 
 }  // namespace
