@@ -60,6 +60,8 @@ void usage(const char* argv0) {
       "  --pack-engine E byte engine: interpreter | program (default\n"
       "                  interpreter; experiments that stream bytes\n"
       "                  honor it, others ignore it)\n"
+      "  --net-model M   fig19 network: loggp | fabric (default loggp;\n"
+      "                  fabric runs the packet-level multi-node fabric)\n"
       "  --drop-rate P   wire packet-drop probability [0,1]\n"
       "  --dup-rate P    wire packet-duplication probability [0,1]\n"
       "  --reorder-rate P  wire packet-reorder probability [0,1]\n"
@@ -181,6 +183,11 @@ int bench_main(int argc, char** argv) {
           v != nullptr ? dataloop::parse_pack_engine(v) : std::nullopt;
       ok = kind.has_value();
       if (ok) params.pack_engine = *kind;
+    } else if (std::strcmp(arg, "--net-model") == 0) {
+      const char* v = next();
+      ok = v != nullptr && (std::strcmp(v, "loggp") == 0 ||
+                            std::strcmp(v, "fabric") == 0);
+      if (ok) params.net_model = v;
     } else if (std::strcmp(arg, "--drop-rate") == 0) {
       const char* v = next();
       double d = 0;

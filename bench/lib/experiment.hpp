@@ -66,6 +66,12 @@ class Params {
   /// (dataloop.program.* counters appear), but default runs must stay
   /// byte-identical to historical JSON.
   std::optional<dataloop::PackEngine> pack_engine;
+  /// --net-model: which network carries fig19's all-to-alls ("loggp" |
+  /// "fabric"; validated by the CLI). Echoed ONLY when explicitly set:
+  /// fabric mode legitimately changes the report, but default runs must
+  /// stay byte-identical to historical JSON. Kept as a string so the
+  /// harness library does not depend on the goal/fabric layers.
+  std::optional<std::string> net_model;
   std::optional<double> drop_rate;          // --drop-rate
   std::optional<double> dup_rate;           // --dup-rate
   std::optional<double> reorder_rate;       // --reorder-rate
@@ -101,6 +107,12 @@ class Params {
   /// No echo — see the field comment.
   p4::MatchEngineKind match_engine_or(p4::MatchEngineKind def) const {
     return match_engine.value_or(def);
+  }
+  /// Echo-when-set — see the field comment.
+  std::string net_model_or(const char* def) const {
+    if (!net_model) return def;
+    echo("net_model", *net_model);
+    return *net_model;
   }
   /// Echo-when-set — see the field comment.
   dataloop::PackEngine pack_engine_or(dataloop::PackEngine def) const {

@@ -1,0 +1,271 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netddt::fabric {
+
+Fabric::Fabric(sim::Engine& engine, const FabricConfig& config)
+    : engine_(&engine),
+      config_(config),
+      topo_(make_topology(config.topology)),
+      ports_(topo_->port_count()),
+      nics_(topo_->nodes(), nullptr),
+      route_index_(static_cast<std::size_t>(topo_->nodes()) * topo_->nodes(),
+                   UINT32_MAX) {
+  pkts_forwarded_ = &metrics_.counter("fabric.pkts");
+  queue_wait_ps_ = &metrics_.counter("fabric.queue_wait_ps");
+  blocked_ = &metrics_.counter("fabric.blocked");
+  drops_ = &metrics_.counter("fabric.drops");
+  retransmits_ = &metrics_.counter("fabric.retransmits");
+  acks_ = &metrics_.counter("fabric.acks");
+  put_failures_ = &metrics_.counter("fabric.put_failures");
+  max_queue_depth_ = &metrics_.gauge("fabric.queue_depth_peak");
+}
+
+void Fabric::attach(std::uint32_t node, spin::NicModel& nic) {
+  assert(node < nics_.size());
+  nics_[node] = &nic;
+}
+
+const std::vector<std::uint32_t>& Fabric::route_for(std::uint32_t src,
+                                                    std::uint32_t dst) {
+  const std::size_t key =
+      static_cast<std::size_t>(src) * topo_->nodes() + dst;
+  if (route_index_[key] == UINT32_MAX) {
+    auto r = std::make_unique<std::vector<std::uint32_t>>();
+    topo_->route(src, dst, *r);
+    route_index_[key] = static_cast<std::uint32_t>(routes_.size());
+    routes_.push_back(std::move(r));
+  }
+  return *routes_[route_index_[key]];
+}
+
+sim::Time Fabric::base_latency(std::uint32_t src, std::uint32_t dst,
+                               std::uint32_t bytes) const {
+  std::vector<std::uint32_t> r;
+  topo_->route(src, dst, r);
+  const auto hops = static_cast<sim::Time>(r.size());
+  return hops * (sim::transfer_time(std::max<std::uint64_t>(bytes, 1),
+                                    config_.cost.line_rate_gbps) +
+                 config_.hop_latency);
+}
+
+sim::Time Fabric::pass_port(std::uint32_t p, sim::Time at,
+                            std::uint32_t bytes) {
+  Port& port = ports_[p];
+  // Slots freed by packets fully serialized before `at`.
+  while (!port.occupants.empty() && port.occupants.front() <= at) {
+    port.occupants.pop_front();
+  }
+  sim::Time admit = at;
+  if (port.occupants.size() >= config_.port_buffer_pkts) {
+    // FIFO full: backpressure — admission waits until enough earlier
+    // packets have left that a slot frees up.
+    admit = port.occupants[port.occupants.size() - config_.port_buffer_pkts];
+    blocked_->add(1);
+    while (!port.occupants.empty() && port.occupants.front() <= admit) {
+      port.occupants.pop_front();
+    }
+  }
+  const sim::Time depart = std::max(admit, port.busy_until);
+  const sim::Time on_wire = port.clock.advance(
+      std::max<std::uint64_t>(bytes, 1), config_.cost.line_rate_gbps);
+  port.busy_until = depart + on_wire;
+  port.occupants.push_back(port.busy_until);
+  pkts_forwarded_->add(1);
+  queue_wait_ps_->add(static_cast<std::uint64_t>(depart - at));
+  const auto depth = static_cast<std::int64_t>(port.occupants.size());
+  if (depth > max_queue_depth_->value()) max_queue_depth_->set(depth);
+  return port.busy_until;
+}
+
+void Fabric::forward(const p4::Packet* pkt,
+                     const std::vector<std::uint32_t>* route,
+                     std::uint32_t hop, sim::Time now, spin::NicModel* dst) {
+  const sim::Time serialized =
+      pass_port((*route)[hop], now, pkt->payload_bytes);
+  const sim::Time arrival = serialized + config_.hop_latency;
+  if (hop + 1 < route->size()) {
+    engine_->schedule_at(arrival, [this, pkt, route, hop, dst] {
+      forward(pkt, route, hop + 1, engine_->now(), dst);
+    });
+  } else {
+    engine_->schedule_at(arrival, [dst, pkt] { dst->deliver(*pkt); });
+  }
+}
+
+void Fabric::send(std::uint32_t src, std::uint32_t dst,
+                  const std::vector<p4::Packet>& packets,
+                  sim::Time earliest) {
+  assert(src != dst);
+  assert(nics_[dst] != nullptr && "destination NIC not attached");
+  const std::vector<std::uint32_t>& route = route_for(src, dst);
+  for (const p4::Packet& p : packets) {
+    forward(&p, &route, 0, earliest, nics_[dst]);
+  }
+}
+
+// --- Reliable transport across the fabric ---------------------------------
+//
+// The sender-side state machine of one multi-hop put: the fabric
+// analogue of spin::Link's ReliableTransfer (PR 4), reusing
+// p4::ReliablePutState / RetransmitConfig / sim::faults::FaultPlan.
+// In-flight packet copies live in `copies` (a deque, so addresses stay
+// stable) because retransmitted/duplicated deliveries need their own
+// flag bits while the caller's packets stay untouched.
+
+struct Fabric::Transfer {
+  Fabric* fab;
+  const std::vector<p4::Packet>* packets;
+  const std::vector<std::uint32_t>* route;
+  spin::NicModel* dst;
+  sim::faults::FaultPlan plan;
+  p4::RetransmitConfig rc;
+  sim::Time base_timeout = 0;
+  sim::Time ack_latency = 0;  // lossless return channel, no serialization
+  p4::ReliablePutState state;
+  bool completion_sent = false;
+  bool done = false;
+  PutCompleteFn on_complete;
+  std::deque<p4::Packet> copies;
+
+  Transfer(Fabric* f, const std::vector<p4::Packet>& pkts,
+           const sim::faults::FaultPlan& p, const p4::RetransmitConfig& cfg)
+      : fab(f), packets(&pkts), plan(p), rc(cfg), state(pkts.size()) {}
+};
+
+void Fabric::send_reliable(std::uint32_t src, std::uint32_t dst,
+                           const std::vector<p4::Packet>& packets,
+                           sim::Time earliest,
+                           const sim::faults::FaultPlan& plan,
+                           const p4::RetransmitConfig& rc,
+                           PutCompleteFn on_complete) {
+  assert(!packets.empty());
+  assert(src != dst);
+  assert(nics_[dst] != nullptr && "destination NIC not attached");
+  assert(plan.active() && "inert plans should use the lossless send()");
+  auto self = std::make_shared<Transfer>(this, packets, plan, rc);
+  self->route = &route_for(src, dst);
+  self->dst = nics_[dst];
+  self->on_complete = std::move(on_complete);
+  const auto hops = static_cast<sim::Time>(self->route->size());
+  self->ack_latency = hops * config_.hop_latency;
+  // Derived timeout, measured from the packet's injection departure
+  // (see forward_reliable): forward propagation, a full output FIFO of
+  // queueing at every downstream hop, the worst-case fault skew, and
+  // the ack's return. An undropped attempt on a congested fabric is
+  // then normally acked before its timer fires; a spurious retransmit
+  // remains safe — the NIC gates duplicates.
+  self->base_timeout =
+      rc.timeout > 0
+          ? rc.timeout
+          : hops * (config_.hop_latency + cost().pkt_interval()) +
+                hops * config_.port_buffer_pkts * cost().pkt_interval() +
+                (plan.config().reorder_window + 2) * cost().pkt_interval() +
+                self->ack_latency;
+  const std::size_t n = packets.size();
+  if (n == 1) {
+    // Single-packet put: the lone packet is both data and completion.
+    self->completion_sent = true;
+    transmit(self, 0, 0, earliest);
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    transmit(self, i, 0, earliest);
+  }
+}
+
+void Fabric::transmit(const std::shared_ptr<Transfer>& self,
+                      std::uint64_t idx, std::uint32_t attempt,
+                      sim::Time at) {
+  Transfer& t = *self;
+  Fabric& f = *t.fab;
+  t.state.record_attempt(static_cast<std::size_t>(idx));
+  const sim::faults::FaultDecision d = t.plan.decide(idx, attempt);
+  const sim::Time slot = f.cost().pkt_interval();
+
+  t.copies.push_back((*t.packets)[idx]);
+  p4::Packet* copy = &t.copies.back();
+  copy->retransmit = attempt > 0;
+  const sim::Time departed = f.forward_reliable(self, copy, idx, 0, at,
+                                                d.drop, d.delay_slots * slot);
+  if (!d.drop && d.duplicate) {
+    t.copies.push_back((*t.packets)[idx]);
+    p4::Packet* dup = &t.copies.back();
+    dup->retransmit = attempt > 0;
+    dup->dup = true;
+    f.forward_reliable(self, dup, idx, 0, at, /*drop=*/false,
+                       (d.delay_slots + d.dup_delay_slots) * slot);
+  }
+
+  const sim::Time timeout = t.rc.timeout_for(attempt, t.base_timeout);
+  f.engine_->schedule_at(departed + timeout, [self, idx, attempt] {
+    Transfer& tr = *self;
+    if (tr.done || tr.state.acked(static_cast<std::size_t>(idx))) return;
+    if (attempt + 1 > tr.rc.max_retries) {
+      fail(self);
+      return;
+    }
+    tr.fab->retransmits_->add(1);
+    transmit(self, idx, attempt + 1, tr.fab->engine_->now());
+  });
+}
+
+sim::Time Fabric::forward_reliable(const std::shared_ptr<Transfer>& xfer,
+                                   const p4::Packet* copy, std::uint64_t idx,
+                                   std::uint32_t hop, sim::Time now,
+                                   bool drop, sim::Time skew) {
+  const sim::Time serialized =
+      pass_port((*xfer->route)[hop], now, copy->payload_bytes);
+  const sim::Time arrival = serialized + config_.hop_latency;
+  if (hop + 1 < xfer->route->size()) {
+    engine_->schedule_at(arrival, [xfer, copy, idx, hop, drop, skew] {
+      xfer->fab->forward_reliable(xfer, copy, idx, hop + 1,
+                                  xfer->fab->engine_->now(), drop, skew);
+    });
+    return serialized;
+  }
+  if (drop) {
+    // Applied at ejection: the doomed attempt consumed every hop's
+    // bandwidth, like a corrupted packet discarded by the receiver.
+    drops_->add(1);
+    return serialized;
+  }
+  engine_->schedule_at(arrival + skew, [xfer, copy, idx] {
+    Transfer& t = *xfer;
+    t.dst->deliver(*copy);
+    t.fab->engine_->schedule(t.ack_latency,
+                             [xfer, idx] { on_ack(xfer, idx); });
+  });
+  return serialized;
+}
+
+void Fabric::on_ack(const std::shared_ptr<Transfer>& self,
+                    std::uint64_t idx) {
+  Transfer& t = *self;
+  t.fab->acks_->add(1);
+  if (t.done || !t.state.mark_acked(static_cast<std::size_t>(idx))) return;
+  const std::uint64_t last = t.packets->size() - 1;
+  if (idx == last) {
+    // Completion packet acked: the put is complete.
+    t.done = true;
+    if (t.on_complete) t.on_complete(t.fab->engine_->now(), true);
+    return;
+  }
+  if (!t.completion_sent && t.state.data_acked()) {
+    // Every data packet acked: release the held-back completion packet.
+    t.completion_sent = true;
+    transmit(self, last, 0, t.fab->engine_->now());
+  }
+}
+
+void Fabric::fail(const std::shared_ptr<Transfer>& self) {
+  Transfer& t = *self;
+  t.done = true;
+  t.state.mark_failed();
+  t.fab->put_failures_->add(1);
+  if (t.on_complete) t.on_complete(t.fab->engine_->now(), false);
+}
+
+}  // namespace netddt::fabric

@@ -11,6 +11,8 @@
 // the CPU unpack from the critical path.
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "goal/loggp.hpp"
@@ -19,12 +21,32 @@
 
 namespace netddt::goal {
 
+/// Which network model carries the transposes' all-to-alls. kLogGP is
+/// the closed-form / LogGOPSim-replay path; kFabric measures a real
+/// packet-level alltoall on the multi-node fabric (switch contention,
+/// per-port queueing, full receiver NIC pipelines) at the configured
+/// node count and fits the completion time over the block size.
+enum class NetModel { kLogGP, kFabric };
+
+inline const char* net_model_name(NetModel m) {
+  return m == NetModel::kLogGP ? "loggp" : "fabric";
+}
+
+inline std::optional<NetModel> parse_net_model(std::string_view name) {
+  if (name == "loggp") return NetModel::kLogGP;
+  if (name == "fabric") return NetModel::kFabric;
+  return std::nullopt;
+}
+
 struct Fft2dConfig {
   std::uint64_t n = 20480;  // matrix is n x n complex doubles (16 B)
   std::uint32_t nodes = 64;
   offload::StrategyKind unpack = offload::StrategyKind::kHostUnpack;
   LogGP net{};
   double flops_gflops = 12.0;  // per-node 1D-FFT rate
+  /// Network model for run_fft2d; run_fft2d_trace is inherently a
+  /// LogGP replay and ignores this.
+  NetModel net_model = NetModel::kLogGP;
 };
 
 struct Fft2dResult {
@@ -54,8 +76,8 @@ struct ScalingPoint {
   Fft2dResult offloaded;
   double speedup_percent;  // (host - offloaded) / host * 100
 };
-std::vector<ScalingPoint> fft2d_scaling(std::uint64_t n,
-                                        const std::vector<std::uint32_t>&
-                                            nodes);
+std::vector<ScalingPoint> fft2d_scaling(
+    std::uint64_t n, const std::vector<std::uint32_t>& nodes,
+    NetModel net_model = NetModel::kLogGP);
 
 }  // namespace netddt::goal

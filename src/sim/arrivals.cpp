@@ -1,6 +1,7 @@
 #include "sim/arrivals.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace netddt::sim {
 
@@ -19,22 +20,34 @@ ArrivalProcess::ArrivalProcess(const ArrivalConfig& config,
                                std::uint64_t stream)
     : config_(config),
       rng_(mix(config.seed * 0x9E3779B97F4A7C15ull + stream + 1)) {
-  const double rate = config_.rate > 0 ? config_.rate : 1.0;
-  const double mean_gap_ps = 1e12 / rate;
+  if (!(config_.rate > 0.0)) {
+    throw std::invalid_argument("ArrivalConfig.rate must be > 0");
+  }
+  const double mean_gap_ps = 1e12 / config_.rate;
+  if (config_.kind == ArrivalKind::kOnOff) {
+    if (!(config_.on_fraction > 0.0 && config_.on_fraction <= 1.0)) {
+      throw std::invalid_argument(
+          "ArrivalConfig.on_fraction must be in (0, 1]");
+    }
+    if (!(config_.burst_len >= 1.0)) {
+      throw std::invalid_argument("ArrivalConfig.burst_len must be >= 1");
+    }
+    // ON 100% of the time *is* plain Poisson. Collapsing here (before
+    // any RNG draw) keeps next() off the window-resample loop — whose
+    // off_mean_ps_ of 0 would burn extra draws per arrival — and makes
+    // the emitted sequence bit-identical to a kPoisson config.
+    if (config_.on_fraction == 1.0) config_.kind = ArrivalKind::kPoisson;
+  }
   if (config_.kind == ArrivalKind::kPoisson) {
     gap_mean_ps_ = mean_gap_ps;
     return;
   }
   // Interrupted Poisson: emit at rate/on_fraction during ON windows of
   // mean burst_len messages; OFF gaps make the duty cycle on_fraction.
-  const double on_fraction =
-      config_.on_fraction > 0.0 && config_.on_fraction <= 1.0
-          ? config_.on_fraction
-          : 1.0;
-  const double burst = config_.burst_len >= 1.0 ? config_.burst_len : 1.0;
-  gap_mean_ps_ = mean_gap_ps * on_fraction;
-  on_mean_ps_ = gap_mean_ps_ * burst;
-  off_mean_ps_ = on_mean_ps_ * (1.0 - on_fraction) / on_fraction;
+  gap_mean_ps_ = mean_gap_ps * config_.on_fraction;
+  on_mean_ps_ = gap_mean_ps_ * config_.burst_len;
+  off_mean_ps_ =
+      on_mean_ps_ * (1.0 - config_.on_fraction) / config_.on_fraction;
   on_end_ps_ = exp_sample(on_mean_ps_);
 }
 

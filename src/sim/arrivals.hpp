@@ -47,6 +47,13 @@ struct ArrivalConfig {
 
 /// Generator of one tenant's arrival times (monotonically nondecreasing
 /// picosecond timestamps starting after t=0).
+///
+/// The constructor rejects invalid configs with std::invalid_argument
+/// (rate <= 0, on_fraction outside (0, 1], burst_len < 1) instead of
+/// silently coercing them. The degenerate kOnOff with on_fraction == 1
+/// collapses to plain Poisson — same long-run rate, and the emitted
+/// timestamp sequence is bit-identical to an equivalent kPoisson
+/// config.
 class ArrivalProcess {
  public:
   ArrivalProcess(const ArrivalConfig& config, std::uint64_t stream);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <sstream>
 
 namespace netddt::sim {
@@ -31,13 +32,74 @@ double Summary::variance() const {
 double Summary::stddev() const { return std::sqrt(variance()); }
 
 double percentile(const std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const std::size_t n = samples.size();
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  const bool need_hi = frac != 0.0 && lo + 1 < n;
+  // Only order statistics lo and lo+1 matter, so when the rank sits
+  // near either end (the hot p99/p99.9 reporting path) a bounded heap
+  // of the k relevant extremes gives the exact same values in
+  // O(n log k) time and O(k) space — no full-vector copy. High
+  // percentiles need the n-lo largest samples, low ones the lo+2
+  // smallest.
+  const std::size_t from_top = n - lo;
+  const std::size_t from_bot = std::min<std::size_t>(lo + 2, n);
+  const std::size_t k = std::min(from_top, from_bot);
+  if (k <= 64 || k <= n / 8) {
+    std::vector<double> heap;
+    heap.reserve(k);
+    if (from_top <= from_bot) {
+      // Min-heap of the n-lo largest; its root is statistic lo and the
+      // root after one pop is statistic lo+1.
+      const auto gt = std::greater<>();
+      for (double x : samples) {
+        if (heap.size() < from_top) {
+          heap.push_back(x);
+          std::push_heap(heap.begin(), heap.end(), gt);
+        } else if (x > heap.front()) {
+          std::pop_heap(heap.begin(), heap.end(), gt);
+          heap.back() = x;
+          std::push_heap(heap.begin(), heap.end(), gt);
+        }
+      }
+      const double lo_val = heap.front();
+      if (!need_hi) return lo_val;
+      std::pop_heap(heap.begin(), heap.end(), gt);
+      heap.pop_back();
+      return lo_val + frac * (heap.front() - lo_val);
+    }
+    // Max-heap of the lo+2 smallest; its root is statistic lo+1 and the
+    // root after one pop is statistic lo.
+    for (double x : samples) {
+      if (heap.size() < from_bot) {
+        heap.push_back(x);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (x < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = x;
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    const double hi_val = heap.front();
+    std::pop_heap(heap.begin(), heap.end());
+    heap.pop_back();
+    const double lo_val = heap.front();
+    if (!need_hi) return lo_val;
+    return lo_val + frac * (hi_val - lo_val);
+  }
   std::vector<double> copy = samples;
   return percentile(copy, p);
 }
 
 double percentile(std::vector<double>& samples, double p) {
   if (samples.empty()) return 0.0;
-  assert(p >= 0.0 && p <= 100.0);
+  // Out-of-range p used to be an assert only, so release builds would
+  // extrapolate from a garbage rank; clamping makes p=−5 / p=250 mean
+  // min / max instead.
+  p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);

@@ -27,8 +27,11 @@ class Summary {
   double min_ = 0.0, max_ = 0.0, mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
 };
 
-/// Percentile of a sample set (linear interpolation, p in [0,100]).
-/// Copies the samples; prefer the in-place overload on hot paths.
+/// Percentile of a sample set (linear interpolation; p clamped to
+/// [0,100], so p<0 means min and p>100 means max). For ranks near
+/// either end — the common p99/p99.9 reporting case — a bounded-heap
+/// selection avoids copying the vector; mid-range ranks fall back to a
+/// copy + nth_element. Both paths return identical values.
 double percentile(const std::vector<double>& samples, double p);
 
 /// In-place percentile: O(n) via std::nth_element instead of a copy +

@@ -55,6 +55,44 @@ constexpr Time transfer_time(std::uint64_t bytes, double gbit_per_s) {
   return t > 0 ? t : 1;
 }
 
+/// Serialization accounting for a stream of back-to-back transfers on
+/// one port. transfer_time() floor-rounds each call independently, so an
+/// N-packet flow's summed serialization time drifts up to N-1 ps below
+/// the whole-message figure — amplified across fabric hops. The clock
+/// carries the fractional-picosecond remainder between calls, making
+/// sum(advance(b_i)) == transfer_time(sum b_i) up to the +-1 ps floor of
+/// the final call. At rates where per-packet times are exact (e.g. the
+/// default 200 Gbit/s with 2 KiB packets: 81920 ps) the carry stays 0
+/// and every call matches transfer_time() bit-for-bit.
+class SerializationClock {
+ public:
+  /// Serialization time of the next `bytes` on this port, including the
+  /// carried remainder of earlier transfers.
+  constexpr Time advance(std::uint64_t bytes, double gbit_per_s) {
+    if (bytes == 0) return 0;
+    // Same expression as transfer_time so exact-rate results agree
+    // bit-for-bit (carry identically 0).
+    const double seconds =
+        static_cast<double>(bytes) * 8.0 / (gbit_per_s * 1e9);
+    const double exact_ps =
+        seconds * static_cast<double>(kSecond) + carry_ps_;
+    Time t = static_cast<Time>(exact_ps);
+    carry_ps_ = exact_ps - static_cast<double>(t);
+    if (t <= 0) {
+      // transfer_time's min-1-ps rule (no zero-latency loops); the
+      // rounded-up remainder is spent, not owed.
+      t = 1;
+      carry_ps_ = 0.0;
+    }
+    return t;
+  }
+
+  void reset() { carry_ps_ = 0.0; }
+
+ private:
+  double carry_ps_ = 0.0;
+};
+
 /// Gbit/s achieved when `bytes` take `elapsed` simulated time.
 constexpr double throughput_gbps(std::uint64_t bytes, Time elapsed) {
   if (elapsed <= 0) return 0.0;

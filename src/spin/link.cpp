@@ -14,13 +14,15 @@ sim::Time Link::deliver_in_order(const std::vector<const p4::Packet*>& order,
   sim::trace::BlameLedger* blame =
       tracer != nullptr ? tracer->blame() : nullptr;
   sim::Time link_free = start;
+  sim::SerializationClock wire_clock;  // carries fractional-ps remainder
   sim::Time last_arrival = start;
   for (std::size_t i = 0; i < order.size(); ++i) {
     const p4::Packet& pkt = *order[i];
     const sim::Time depart =
         std::max(link_free, ready.empty() ? start : ready[i]);
-    const sim::Time on_wire = cost_->wire_time(
-        std::max<std::uint64_t>(pkt.payload_bytes, 1));  // header flit
+    const sim::Time on_wire = wire_clock.advance(
+        std::max<std::uint64_t>(pkt.payload_bytes, 1),  // header flit
+        cost_->line_rate_gbps);
     link_free = depart + on_wire;
     const sim::Time arrival = link_free + cost_->net_latency;
     last_arrival = std::max(last_arrival, arrival);
@@ -71,8 +73,9 @@ sim::Time Link::send_queued(const std::vector<p4::Packet>& packets,
   sim::Time last_arrival = std::max(port_free_, earliest);
   for (const p4::Packet& pkt : packets) {
     const sim::Time depart = std::max(port_free_, earliest);
-    const sim::Time on_wire = cost_->wire_time(
-        std::max<std::uint64_t>(pkt.payload_bytes, 1));  // header flit
+    const sim::Time on_wire = port_clock_.advance(
+        std::max<std::uint64_t>(pkt.payload_bytes, 1),  // header flit
+        cost_->line_rate_gbps);
     port_free_ = depart + on_wire;
     const sim::Time arrival = port_free_ + cost_->net_latency;
     last_arrival = std::max(last_arrival, arrival);
@@ -109,6 +112,7 @@ struct Link::ReliableTransfer {
   sim::Time base_timeout = 0;
   p4::ReliablePutState state;
   sim::Time link_free = 0;
+  sim::SerializationClock link_clock;  // fractional-ps carry (own port)
   // Serialize through Link::port_free_ (the shared injection port) so
   // reliable transfers of concurrent messages queue behind one wire —
   // the open-loop service model under faults (send_reliable_queued).
@@ -210,9 +214,12 @@ void Link::transmit(const std::shared_ptr<ReliableTransfer>& self,
   const p4::Packet& src = (*t.packets)[idx];
   t.state.record_attempt(static_cast<std::size_t>(idx));
   sim::Time& clock = t.shared_port ? t.link->port_free_ : t.link_free;
+  sim::SerializationClock& sclock =
+      t.shared_port ? t.link->port_clock_ : t.link_clock;
   const sim::Time depart = std::max(at, clock);
-  const sim::Time on_wire = t.link->cost_->wire_time(
-      std::max<std::uint64_t>(src.payload_bytes, 1));  // header flit
+  const sim::Time on_wire = sclock.advance(
+      std::max<std::uint64_t>(src.payload_bytes, 1),  // header flit
+      t.link->cost_->line_rate_gbps);
   const sim::Time serialized = depart + on_wire;
   clock = serialized;
   t.wire_bytes->add(src.payload_bytes);

@@ -133,6 +133,10 @@ class Link {
   NicModel* target_;
   const CostModel* cost_;
   sim::Time port_free_ = 0;  // shared injection-port clock (send_queued)
+  // Fractional-ps serialization carry of the shared port, so N queued
+  // packets occupy exactly the whole-message wire time (sim::
+  // SerializationClock); per-call paths carry their own clock.
+  sim::SerializationClock port_clock_;
 };
 
 }  // namespace netddt::spin

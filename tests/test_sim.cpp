@@ -4,10 +4,13 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "sim/arrivals.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
@@ -383,6 +386,113 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
   EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
   EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  std::vector<double> v{10, 20, 30, 40};
+  // Out-of-range p means min / max, not UB.
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 250.0), 40);
+  const std::vector<double> single{7.0};
+  EXPECT_DOUBLE_EQ(percentile(single, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(single, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(single, 100), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(single, -1), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(single, 101), 7.0);
+}
+
+TEST(Stats, PercentileDuplicateHeavySamples) {
+  std::vector<double> v(1000, 5.0);
+  v[0] = 1.0;
+  v[999] = 9.0;
+  const std::vector<double>& cv = v;
+  EXPECT_DOUBLE_EQ(percentile(cv, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(cv, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(cv, 100), 9.0);
+}
+
+TEST(Stats, PercentileConstOverloadMatchesInPlace) {
+  // The const overload's bounded-heap tail path and the nth_element
+  // in-place path must agree exactly, including the interpolated cases.
+  Rng rng(99);
+  std::vector<double> v;
+  v.reserve(4096);
+  for (int i = 0; i < 4096; ++i) v.push_back(rng.uniform() * 1e6);
+  const std::vector<double>& cv = v;
+  for (double p : {-1.0, 0.0, 0.37, 1.0, 12.5, 50.0, 75.0, 99.0, 99.9,
+                   99.99, 100.0, 180.0}) {
+    std::vector<double> scratch = v;
+    EXPECT_DOUBLE_EQ(percentile(cv, p), percentile(scratch, p)) << p;
+  }
+}
+
+TEST(Arrivals, RejectsInvalidConfigs) {
+  ArrivalConfig c;
+  c.rate = 0.0;
+  EXPECT_THROW(ArrivalProcess(c, 1), std::invalid_argument);
+  c.rate = -1e6;
+  EXPECT_THROW(ArrivalProcess(c, 1), std::invalid_argument);
+  c = {};
+  c.kind = ArrivalKind::kOnOff;
+  c.on_fraction = 0.0;
+  EXPECT_THROW(ArrivalProcess(c, 1), std::invalid_argument);
+  c.on_fraction = 1.5;
+  EXPECT_THROW(ArrivalProcess(c, 1), std::invalid_argument);
+  c.on_fraction = 0.25;
+  c.burst_len = 0.5;
+  EXPECT_THROW(ArrivalProcess(c, 1), std::invalid_argument);
+}
+
+TEST(Arrivals, DegenerateOnOffCollapsesToPoisson) {
+  ArrivalConfig onoff;
+  onoff.kind = ArrivalKind::kOnOff;
+  onoff.on_fraction = 1.0;  // always ON: no bursts left to model
+  ArrivalConfig poisson;
+  poisson.kind = ArrivalKind::kPoisson;
+  ArrivalProcess a(onoff, 5), b(poisson, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Arrivals, KindsAgreeOnLongRunRate) {
+  constexpr int kN = 200'000;
+  const auto mean_gap = [](ArrivalKind kind) {
+    ArrivalConfig c;
+    c.kind = kind;
+    c.rate = 2e6;  // 500 ns mean gap
+    ArrivalProcess ap(c, 17);
+    Time last = 0;
+    for (int i = 0; i < kN; ++i) last = ap.next();
+    return static_cast<double>(last) / kN;
+  };
+  const double poisson = mean_gap(ArrivalKind::kPoisson);
+  const double onoff = mean_gap(ArrivalKind::kOnOff);
+  EXPECT_NEAR(poisson, 500'000.0, 500'000.0 * 0.02);
+  EXPECT_NEAR(onoff, poisson, poisson * 0.02);
+}
+
+TEST(Time, SerializationClockCarriesFractionalPicoseconds) {
+  // 1000-byte packets at 7 Gbit/s: 1142857.142... ps each. Summing the
+  // floor per packet would drift ~143 ps per thousand packets; the
+  // carry keeps the N-packet sum within 1 ps of the whole message.
+  SerializationClock clock;
+  Time sum = 0;
+  constexpr int kPkts = 1000;
+  for (int i = 0; i < kPkts; ++i) sum += clock.advance(1000, 7.0);
+  const Time whole = transfer_time(1000ull * kPkts, 7.0);
+  EXPECT_LE(std::abs(sum - whole), 1);
+  EXPECT_GT(sum, kPkts * transfer_time(1000, 7.0));  // floors drift low
+}
+
+TEST(Time, SerializationClockExactAtExactRates) {
+  // 2 KiB at 200 Gbit/s is exactly 81920 ps: the carry must stay zero
+  // so the lossless fast path is bit-identical to transfer_time sums.
+  SerializationClock clock;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(clock.advance(2048, 200.0), 81920);
+  }
+  EXPECT_EQ(clock.advance(0, 200.0), 0);
+  // The min-1-ps rule for tiny packets resets the carry.
+  EXPECT_GE(clock.advance(1, 1e9), 1);
 }
 
 TEST(Stats, GeomeanMatchesHandComputation) {
